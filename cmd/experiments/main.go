@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's evaluation: every Table 1
+// row and every quantitative lemma has an experiment (E1–E14, indexed in
+// DESIGN.md) that prints paper-vs-measured tables.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run E3 -quick
+//	experiments -run all -markdown > results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"popgraph/internal/exp"
+)
+
+func main() {
+	var (
+		runID    = flag.String("run", "all", "experiment id (E1..E14) or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "smaller ladders and trial counts")
+		markdown = flag.Bool("markdown", false, "render tables as Markdown")
+		seed     = flag.Uint64("seed", 2022, "base random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Name, e.Claim)
+		}
+		return
+	}
+
+	cfg := exp.Config{Seed: *seed, Quick: *quick, Out: os.Stdout, Markdown: *markdown}
+	var todo []exp.Experiment
+	if *runID == "all" {
+		todo = exp.All()
+	} else {
+		e, ok := exp.ByID(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *runID)
+			os.Exit(1)
+		}
+		todo = []exp.Experiment{e}
+	}
+	for _, e := range todo {
+		fmt.Printf("--- %s: %s\n    claim: %s\n\n", e.ID, e.Name, e.Claim)
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    (%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

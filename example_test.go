@@ -1,0 +1,65 @@
+package popgraph_test
+
+import (
+	"fmt"
+
+	"popgraph"
+)
+
+// Elect a leader on a cycle with the constant-state protocol.
+func Example() {
+	r := popgraph.NewRand(1)
+	g := popgraph.Cycle(16)
+	res := popgraph.Run(g, popgraph.NewSixState(), r, popgraph.Options{})
+	fmt.Println("stabilized:", res.Stabilized, "single leader:", res.Leader >= 0)
+	// Output:
+	// stabilized: true single leader: true
+}
+
+// The fast space-efficient protocol needs the graph's broadcast time;
+// NewFastFor estimates it and picks the Theorem 24 parameters.
+func ExampleNewFastFor() {
+	r := popgraph.NewRand(2)
+	g := popgraph.Clique(64)
+	p := popgraph.NewFastFor(g, r)
+	res := popgraph.Run(g, p, r, popgraph.Options{})
+	fmt.Println("stabilized:", res.Stabilized, "states:", p.StateCount(g.N()) < 1000)
+	// Output:
+	// stabilized: true states: true
+}
+
+// Graphs can be described by compact spec strings (used by the CLIs).
+func ExampleParseGraph() {
+	r := popgraph.NewRand(3)
+	g, err := popgraph.ParseGraph("torus:4x5", r)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.Name(), g.N(), g.M())
+	// Output:
+	// torus-4x5 20 40
+}
+
+// The star protocol stabilizes in exactly one interaction on stars —
+// the Table 1 "Stars" row.
+func ExampleNewStarProtocol() {
+	r := popgraph.NewRand(4)
+	res := popgraph.Run(popgraph.Star(1000), popgraph.NewStarProtocol(), r, popgraph.Options{})
+	fmt.Println("steps:", res.Steps)
+	// Output:
+	// steps: 1
+}
+
+// Exact majority is the extension module suggested by the paper's
+// conclusions: same token random-walk techniques, different problem.
+func ExampleRunMajority() {
+	r := popgraph.NewRand(5)
+	inputs := make([]bool, 21)
+	for i := 0; i < 13; i++ {
+		inputs[i] = true // 13 of 21 vote "true"
+	}
+	res := popgraph.RunMajority(popgraph.Cycle(21), inputs, r, 0)
+	fmt.Println("winner:", res.Winner)
+	// Output:
+	// winner: true
+}

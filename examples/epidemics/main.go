@@ -1,0 +1,56 @@
+// Epidemics measures one-way epidemic dynamics (Section 3) across graph
+// families and checks the measured worst-case broadcast time B(G) against
+// the paper's two-sided bounds:
+//
+//	(m/Δ)·ln(n−1)  <=  B(G)  <=  m·min{ log n / β, log n + D }
+//
+// (Lemma 12 and Theorem 6). It also prints the distance-k propagation
+// profile on a cycle — the quantity behind the renitent-graph lower
+// bounds of Section 6 — next to the Lemma 14 threshold k·m/(Δe³).
+package main
+
+import (
+	"fmt"
+
+	"popgraph"
+	"popgraph/internal/bounds"
+	"popgraph/internal/graph"
+)
+
+func main() {
+	r := popgraph.NewRand(3)
+
+	fmt.Println("worst-case broadcast times vs paper bounds (n = 256)")
+	fmt.Printf("%-14s %8s %12s %12s %12s\n", "graph", "m", "lower(L12)", "B measured", "upper(T6)")
+	families := []struct {
+		g    popgraph.Graph
+		beta float64
+	}{
+		{popgraph.Clique(256), bounds.ExpansionClique(256)},
+		{popgraph.Cycle(256), bounds.ExpansionCycle(256)},
+		{popgraph.Star(256), bounds.ExpansionStar()},
+		{popgraph.Hypercube(8), bounds.ExpansionHypercube()},
+		{popgraph.Torus(16, 16), bounds.ExpansionTorusUpper(16)},
+	}
+	for _, f := range families {
+		g := f.g
+		b := popgraph.EstimateBroadcastTime(g, r)
+		lo := bounds.BroadcastLower(g.N(), g.M(), graph.MaxDegree(g))
+		hi := bounds.BroadcastUpper(g.N(), g.M(), popgraph.Diameter(g), f.beta)
+		fmt.Printf("%-14s %8d %12.0f %12.0f %12.0f\n", g.Name(), g.M(), lo, b, hi)
+	}
+
+	fmt.Println("\npropagation profile on cycle-256 (information crawls: T_k ≈ k·m)")
+	fmt.Printf("%8s %14s %16s %12s\n", "k", "T_k measured", "L14 threshold", "T_k/(k·m)")
+	g := popgraph.Cycle(256)
+	tk := popgraph.PropagationTimes(g, 0, r)
+	for _, k := range []int{16, 32, 64, 128} {
+		thr := bounds.PropagationLower(k, g.M(), 2)
+		fmt.Printf("%8d %14d %16.0f %12.2f\n", k, tk[k], thr, float64(tk[k])/float64(k*g.M()))
+	}
+
+	fmt.Println("\ncontrast: on the clique information explodes (T_k flat in k)")
+	c := popgraph.Clique(256)
+	tkc := popgraph.PropagationTimes(c, 0, r)
+	fmt.Printf("clique T_1 = %d steps to reach distance 1 = everyone\n", tkc[1])
+}

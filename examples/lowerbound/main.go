@@ -1,0 +1,67 @@
+// Lowerbound demonstrates the renitent-graph machinery of Section 6: it
+// builds the Theorem 39 four-copies construction for a ladder of target
+// complexities T, verifies the (4, ℓ)-cover, measures the isolation time
+// Y(C) (how long the four symmetric parts evolve indistinguishably) and
+// then shows that actual leader election on these graphs indeed takes
+// Θ(T) steps — the lower bound is not just a proof artifact but visible
+// in simulation.
+package main
+
+import (
+	"fmt"
+
+	"popgraph"
+	"popgraph/internal/renitent"
+	"popgraph/internal/stats"
+	"popgraph/internal/xrand"
+)
+
+func main() {
+	r := xrand.New(17)
+	const base = 16
+	nf := float64(base)
+
+	fmt.Println("Theorem 39: graphs where leader election costs Θ(T), for your choice of T")
+	fmt.Printf("%10s %6s %6s %14s %14s %12s\n",
+		"target T", "n", "m", "isolation Y", "LE steps", "LE/T")
+
+	for _, mult := range []float64{1, 2, 4, 8} {
+		target := mult * nf * nf
+		g, cover, err := renitent.Theorem39Graph(base, target, r)
+		if err != nil {
+			panic(err)
+		}
+		if err := cover.Validate(g); err != nil {
+			panic(err)
+		}
+
+		// Isolation time: how long the cover's parts stay causally
+		// independent. Theorem 34 turns Pr[Y >= T] >= 1/2 into an Ω(T)
+		// lower bound for ANY stable leader election protocol.
+		const trials = 8
+		ys := make([]float64, trials)
+		for i := range ys {
+			ys[i] = float64(renitent.IsolationTime(g, cover, r, 1<<40))
+		}
+
+		// Election time of the fastest protocol we have: it cannot beat
+		// the isolation barrier.
+		steps := make([]float64, trials/2)
+		for i := range steps {
+			p := popgraph.NewIdentifier()
+			res := popgraph.Run(g, p, popgraph.NewRand(uint64(300+i)), popgraph.Options{})
+			if !res.Stabilized {
+				panic("did not stabilize")
+			}
+			steps[i] = float64(res.Steps)
+		}
+		fmt.Printf("%10.0f %6d %6d %14.0f %14.0f %12.2f\n",
+			target, g.N(), g.M(), stats.Mean(ys), stats.Mean(steps),
+			stats.Mean(steps)/target)
+	}
+
+	fmt.Println("\nBoth columns scale linearly with T within a construction regime (the last")
+	fmt.Println("row switches from the star-based to the clique-based template, Theorem 39's")
+	fmt.Println("two cases, so its constant differs): stabilization cannot outrun information.")
+	fmt.Println("(Compare the star graph, where one interaction suffices — run examples/quickstart.)")
+}

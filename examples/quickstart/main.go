@@ -1,0 +1,27 @@
+// Quickstart: elect a leader on a 16×16 torus with each of the paper's
+// protocols and print how long stabilization took.
+package main
+
+import (
+	"fmt"
+
+	"popgraph"
+)
+
+func main() {
+	r := popgraph.NewRand(42)
+	g := popgraph.Torus(16, 16)
+	fmt.Printf("interaction graph: %s (n=%d, m=%d, diameter=%d)\n\n",
+		g.Name(), g.N(), g.M(), popgraph.Diameter(g))
+
+	protocols := []popgraph.Protocol{
+		popgraph.NewSixState(),    // O(1) states, O(H(G)·n·log n) steps
+		popgraph.NewIdentifier(),  // O(n⁴) states, O(B(G)+n·log n) steps
+		popgraph.NewFastFor(g, r), // O(log² n) states, O(B(G)·log n) steps
+	}
+	for _, p := range protocols {
+		res := popgraph.Run(g, p, r, popgraph.Options{})
+		fmt.Printf("%-22s states=%-10.4g steps=%-10d leader=node %d\n",
+			p.Name(), p.StateCount(g.N()), res.Steps, res.Leader)
+	}
+}

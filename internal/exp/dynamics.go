@@ -1,0 +1,225 @@
+package exp
+
+// This file implements the information-propagation and random-walk
+// experiments: E6 (Theorem 6 / Lemma 12 broadcast bounds), E7 (Lemma 14
+// propagation lower bounds), E8 (Section 5.1 streak-clock lemmas) and
+// E9 (Lemma 17/18 and Proposition 20 random-walk facts).
+
+import (
+	"fmt"
+	"math"
+
+	"popgraph/internal/bounds"
+	"popgraph/internal/epidemic"
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/streak"
+	"popgraph/internal/stats"
+	"popgraph/internal/table"
+	"popgraph/internal/walk"
+	"popgraph/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E6",
+		Name:  "Broadcast time vs Theorem 6 and Lemma 12 bounds",
+		Claim: "(m/Delta)ln(n-1) <= B(G) <= m*min{logn/beta, logn+D} (+Lemma 11 for G(n,p))",
+		Run: func(cfg Config) error {
+			r := xrand.New(cfg.Seed + 29)
+			type entry struct {
+				g    graph.Graph
+				beta float64
+			}
+			var entries []entry
+			for _, n := range ladder(cfg, []int{64, 128, 256, 512}) {
+				entries = append(entries,
+					entry{graph.NewClique(n), bounds.ExpansionClique(n)},
+					entry{graph.Cycle(n), bounds.ExpansionCycle(n)},
+					entry{graph.Star(n), bounds.ExpansionStar()},
+				)
+				k := int(math.Sqrt(float64(n)))
+				if k >= 3 {
+					entries = append(entries, entry{graph.Torus2D(k, k), bounds.ExpansionTorusUpper(k)})
+				}
+				g, err := graph.Gnp(n, 0.5, r)
+				if err != nil {
+					return err
+				}
+				entries = append(entries, entry{g, 0})
+			}
+			t := table.New("E6 broadcast bounds", "graph", "n", "m",
+				"lower(L12)", "B(measured)", "upper(T6)", "in-bounds")
+			nTrials := trials(cfg, 8)
+			var gnpNs, gnpBs []float64
+			for _, e := range entries {
+				g := e.g
+				b := epidemic.EstimateB(g, r, epidemic.Options{Sources: 3, Trials: nTrials})
+				lo := bounds.BroadcastLower(g.N(), g.M(), graph.MaxDegree(g))
+				hi := bounds.BroadcastUpper(g.N(), g.M(), graph.Diameter(g), e.beta)
+				ok := b >= lo && b <= 1.25*hi // finite-size slack on the asymptotic constant
+				t.AddRow(g.Name(), g.N(), g.M(), lo, b, hi, ok)
+				if e.beta == 0 { // the G(n,p) rows
+					gnpNs = append(gnpNs, float64(g.N()))
+					gnpBs = append(gnpBs, b)
+				}
+			}
+			cfg.render(t)
+			// Lemma 11: B(G(n,p)) = O(n log n): the log-log slope of B vs n
+			// should be close to 1 (log factor bends it slightly above).
+			fitRow(cfg, "E6/gnp-broadcast", gnpNs, gnpBs)
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "E7",
+		Name:  "Distance-k propagation lower bound (Lemma 14, Theorem 15)",
+		Claim: "Pr[T_k < km/(Delta e^3)] <= 1/n for k >= ln n; bounded-degree B(G)=Theta(n*max{D, logn})",
+		Run: func(cfg Config) error {
+			r := xrand.New(cfg.Seed + 31)
+			t := table.New("E7 propagation times on cycles",
+				"n", "k", "threshold(L14)", "T_k(mean)", "frac-below", "T_k/(k*m)")
+			nTrials := trials(cfg, 12)
+			for _, n := range ladder(cfg, []int{64, 128, 256}) {
+				g := graph.Cycle(n)
+				ks := []int{n / 8, n / 4, n / 2}
+				below := make([]int, len(ks))
+				sums := make([]float64, len(ks))
+				for trial := 0; trial < nTrials; trial++ {
+					first, _ := epidemic.PropagationFrom(g, 0, r)
+					for i, k := range ks {
+						v := float64(first[k])
+						sums[i] += v
+						if v < bounds.PropagationLower(k, g.M(), 2) {
+							below[i]++
+						}
+					}
+				}
+				for i, k := range ks {
+					mean := sums[i] / float64(nTrials)
+					t.AddRow(n, k, bounds.PropagationLower(k, g.M(), 2), mean,
+						fmt.Sprintf("%d/%d", below[i], nTrials),
+						mean/(float64(k)*float64(g.M())))
+				}
+			}
+			cfg.render(t)
+			// Theorem 15 shape on bounded-degree graphs: B(cycle)/(n*D)
+			// should be flat; B(torus k x k)/(n*k) flat.
+			t2 := table.New("E7b bounded-degree broadcast shape", "graph", "n", "D",
+				"B(measured)", "B/(n*max(D,logn))")
+			for _, n := range ladder(cfg, []int{64, 128, 256}) {
+				for _, g := range []graph.Graph{graph.Cycle(n), torusOfSize(n)} {
+					b := epidemic.EstimateB(g, r, epidemic.Options{Sources: 2, Trials: trials(cfg, 6)})
+					d := graph.Diameter(g)
+					norm := float64(g.N()) * math.Max(float64(d), math.Log(float64(g.N())))
+					t2.AddRow(g.Name(), g.N(), d, b, b/norm)
+				}
+			}
+			cfg.render(t2)
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "E8",
+		Name:  "Streak clock (Section 5.1, Lemmas 26-29)",
+		Claim: "E[K]=2^{h+1}-2; E[X(d)]=E[K]m/d; R, S concentrate; Geom(2^-h) <= K <= Geom(2^-h-1)+h",
+		Run: func(cfg Config) error {
+			r := xrand.New(cfg.Seed + 37)
+			nTrials := trials(cfg, 40000)
+			t := table.New("E8 E[K] vs h", "h", "E[K] formula", "measured", "rel-err")
+			for _, h := range []int{1, 2, 3, 4, 6, 8} {
+				want := streak.ExpectedK(h)
+				var sum int64
+				for i := 0; i < nTrials; i++ {
+					sum += streak.SampleK(h, r)
+				}
+				mean := float64(sum) / float64(nTrials)
+				t.AddRow(h, want, mean, math.Abs(mean-want)/want)
+			}
+			cfg.render(t)
+
+			t2 := table.New("E8b E[X(d)] vs degree (h=3, m=512)",
+				"d", "E[X] formula", "measured", "rel-err")
+			xTrials := trials(cfg, 8000)
+			for _, d := range []int{1, 4, 16, 64, 512} {
+				want := streak.ExpectedX(3, d, 512)
+				var sum int64
+				for i := 0; i < xTrials; i++ {
+					sum += streak.SampleX(3, d, 512, r)
+				}
+				mean := float64(sum) / float64(xTrials)
+				t2.AddRow(d, want, mean, math.Abs(mean-want)/want)
+			}
+			cfg.render(t2)
+
+			// Lemma 28/29 concentration: quantiles of R and S for ell = ln n.
+			t3 := table.New("E8c concentration of R (h=4, ell=12)",
+				"quantile", "R/E[R]")
+			rs := make([]float64, trials(cfg, 4000))
+			eR := float64(12) * streak.ExpectedK(4)
+			for i := range rs {
+				rs[i] = float64(streak.SampleR(4, 12, r)) / eR
+			}
+			for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+				t3.AddRow(q, stats.Quantile(rs, q))
+			}
+			cfg.render(t3)
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "E9",
+		Name:  "Random walks: hitting and meeting times (Lemmas 17-19, Prop 20)",
+		Claim: "H_P(G) <= 27n*H(G); M(u,v) <= 2H_P(G); H(G(n,p)) = O(n)",
+		Run: func(cfg Config) error {
+			r := xrand.New(cfg.Seed + 41)
+			t := table.New("E9 population vs classic walks (exact, worst-case)",
+				"graph", "n", "H(G)", "H_P(G)", "H_P/(27nH)", "M(G)", "M/(2*H_P)")
+			mk := func(g graph.Graph) {
+				h := walk.ClassicWorstHittingExact(g)
+				hp := walk.PopulationWorstHittingExact(g)
+				meet := walk.MeetingExact(g)
+				worstM := 0.0
+				for u := 0; u < g.N(); u++ {
+					for v := u + 1; v < g.N(); v++ {
+						if meet[u][v] > worstM {
+							worstM = meet[u][v]
+						}
+					}
+				}
+				t.AddRow(g.Name(), g.N(), h, hp,
+					hp/(27*float64(g.N())*h), worstM, worstM/(2*hp))
+			}
+			mk(graph.NewClique(32))
+			mk(graph.Cycle(32))
+			mk(graph.Star(32))
+			mk(graph.Torus2D(6, 6))
+			mk(graph.Lollipop(12, 12))
+			cfg.render(t)
+
+			// Proposition 20: H(G(n,p)) = O(n).
+			t2 := table.New("E9b dense random hitting times", "n", "p", "H(G)", "H/n")
+			for _, n := range ladder(cfg, []int{48, 64, 96}) {
+				g, err := graph.Gnp(n, 0.5, r)
+				if err != nil {
+					return err
+				}
+				h := walk.ClassicWorstHittingExact(g)
+				t2.AddRow(n, 0.5, h, h/float64(n))
+			}
+			cfg.render(t2)
+			return nil
+		},
+	})
+}
+
+// torusOfSize returns a k x k torus with k^2 as close to n as possible.
+func torusOfSize(n int) graph.Graph {
+	k := int(math.Round(math.Sqrt(float64(n))))
+	if k < 3 {
+		k = 3
+	}
+	return graph.Torus2D(k, k)
+}

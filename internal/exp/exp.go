@@ -1,0 +1,186 @@
+// Package exp is the experiment harness that regenerates the paper's
+// evaluation: every row of Table 1 and every quantitative lemma gets a
+// paper-vs-measured experiment (E1–E14, indexed in DESIGN.md). Each
+// experiment prints one or more tables; cmd/experiments is the CLI driver
+// and bench_test.go wraps each experiment in a testing.B benchmark.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/sim"
+	"popgraph/internal/stats"
+	"popgraph/internal/table"
+	"popgraph/internal/xrand"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed makes the whole experiment deterministic.
+	Seed uint64
+	// Quick shrinks ladders and trial counts (used by `go test` smoke
+	// tests and -quick CLI runs; full runs are the default).
+	Quick bool
+	// Out receives the rendered tables (defaults to io.Discard if nil).
+	Out io.Writer
+	// Markdown renders tables as Markdown instead of aligned text.
+	Markdown bool
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+func (c Config) render(t *table.Table) {
+	w := c.out()
+	if c.Markdown {
+		t.WriteMarkdown(w)
+	} else {
+		t.WriteText(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one reproducible unit of the evaluation.
+type Experiment struct {
+	// ID is the short identifier from DESIGN.md, e.g. "E3".
+	ID string
+	// Name is a one-line title.
+	Name string
+	// Claim cites the paper statement being reproduced.
+	Claim string
+	// Run executes the experiment, writing tables to cfg.Out.
+	Run func(cfg Config) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-aware: E2 before E10.
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Measurement summarizes repeated stabilization-time trials.
+type Measurement struct {
+	// Steps summarizes the stabilization times of the trials that
+	// stabilized.
+	Steps stats.Summary
+	// Stabilized of Trials runs reached a stable configuration before the
+	// step cap.
+	Stabilized, Trials int
+	// BackupMean is the mean number of nodes that entered a backup phase
+	// (protocols without a backup report 0).
+	BackupMean float64
+}
+
+// backupReporter is implemented by protocols with a backup phase.
+type backupReporter interface{ InBackup() int }
+
+// MeasureSteps runs `trials` independent executions of factory() on g
+// with distinct deterministic seeds, in parallel across CPUs, and
+// aggregates stabilization times. maxSteps <= 0 uses the engine default.
+func MeasureSteps(g graph.Graph, factory func() sim.Protocol, seed uint64,
+	trials int, maxSteps int64) Measurement {
+	if trials < 1 {
+		trials = 1
+	}
+	type outcome struct {
+		res    sim.Result
+		backup int
+	}
+	outcomes := make([]outcome, trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < trials; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			p := factory()
+			r := xrand.New(seed + 0x9e3779b97f4a7c15*uint64(i+1))
+			res := sim.Run(g, p, r, sim.Options{MaxSteps: maxSteps})
+			o := outcome{res: res}
+			if br, ok := p.(backupReporter); ok {
+				o.backup = br.InBackup()
+			}
+			outcomes[i] = o
+		}(i)
+	}
+	wg.Wait()
+	m := Measurement{Trials: trials}
+	steps := make([]float64, 0, trials)
+	var backupSum float64
+	for _, o := range outcomes {
+		if o.res.Stabilized {
+			m.Stabilized++
+			steps = append(steps, float64(o.res.Steps))
+		}
+		backupSum += float64(o.backup)
+	}
+	m.BackupMean = backupSum / float64(trials)
+	if len(steps) > 0 {
+		m.Steps = stats.Summarize(steps)
+	}
+	return m
+}
+
+// ladder returns a geometric size ladder, halved under Quick.
+func ladder(cfg Config, full []int) []int {
+	if !cfg.Quick {
+		return full
+	}
+	if len(full) <= 2 {
+		return full
+	}
+	return full[:len(full)-1]
+}
+
+// trials picks a trial count, reduced under Quick.
+func trials(cfg Config, full int) int {
+	if cfg.Quick {
+		t := full / 2
+		if t < 3 {
+			t = 3
+		}
+		return t
+	}
+	return full
+}
+
+// fitRow appends a log-log scaling fit line to the writer.
+func fitRow(cfg Config, label string, ns, ys []float64) {
+	if len(ns) < 2 {
+		return
+	}
+	slope, r2 := stats.LogLogSlope(ns, ys)
+	fmt.Fprintf(cfg.out(), "%s: log-log slope %.3f (R² %.3f)\n", label, slope, r2)
+}

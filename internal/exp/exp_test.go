@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/beauquier"
+	"popgraph/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		if e.Name == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete: %+v", id, e)
+		}
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestAllSortedNumerically(t *testing.T) {
+	all := All()
+	if all[0].ID != "E1" || all[len(all)-1].ID != "E20" {
+		t.Fatalf("bad ordering: first %s last %s", all[0].ID, all[len(all)-1].ID)
+	}
+}
+
+func TestMeasureStepsParallelDeterministic(t *testing.T) {
+	g := graph.NewClique(16)
+	factory := func() sim.Protocol { return beauquier.New() }
+	a := MeasureSteps(g, factory, 99, 8, 0)
+	b := MeasureSteps(g, factory, 99, 8, 0)
+	if a.Steps.Mean != b.Steps.Mean || a.Stabilized != b.Stabilized {
+		t.Fatalf("parallel measurement not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Stabilized != 8 || a.Trials != 8 {
+		t.Fatalf("measurement %+v", a)
+	}
+	if a.Steps.Min <= 0 {
+		t.Fatal("nonpositive steps")
+	}
+}
+
+func TestMeasureStepsRespectsCap(t *testing.T) {
+	g := graph.Cycle(64)
+	m := MeasureSteps(g, func() sim.Protocol { return beauquier.New() }, 1, 4, 10)
+	if m.Stabilized != 0 {
+		t.Fatal("should not stabilize in 10 steps")
+	}
+}
+
+func TestLadderAndTrials(t *testing.T) {
+	full := []int{1, 2, 3, 4}
+	if got := ladder(Config{}, full); len(got) != 4 {
+		t.Fatal("full ladder truncated")
+	}
+	if got := ladder(Config{Quick: true}, full); len(got) != 3 {
+		t.Fatalf("quick ladder %v", got)
+	}
+	if got := ladder(Config{Quick: true}, []int{1, 2}); len(got) != 2 {
+		t.Fatal("short ladders must not shrink")
+	}
+	if trials(Config{}, 10) != 10 || trials(Config{Quick: true}, 10) != 5 {
+		t.Fatal("trial scaling")
+	}
+	if trials(Config{Quick: true}, 4) != 3 {
+		t.Fatal("trial floor")
+	}
+}
+
+// TestQuickSmoke runs the fast subset of experiments end to end in Quick
+// mode; the slow Table-1 families are exercised by bench_test.go instead.
+func TestQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments smoke test skipped in -short mode")
+	}
+	for _, id := range []string{"E5", "E8", "E10", "E13", "E14"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(Config{Seed: 1, Quick: true, Out: &buf}); err != nil {
+			t.Fatalf("%s failed: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("%s output lacks its table header:\n%s", id, buf.String())
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	e, _ := ByID("E14")
+	var buf bytes.Buffer
+	if err := e.Run(Config{Seed: 1, Quick: true, Out: &buf, Markdown: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| --- |") {
+		t.Error("markdown table separator missing")
+	}
+}
+
+func TestNilOutDiscards(t *testing.T) {
+	e, _ := ByID("E14")
+	if err := e.Run(Config{Seed: 1, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+}

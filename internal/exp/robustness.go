@@ -1,0 +1,87 @@
+package exp
+
+// E20 injects communication failures: each sampled interaction is dropped
+// with probability q. Stable leader election is oblivious to the
+// schedule, so all three protocols must still stabilize, slowed by a
+// factor ≈ 1/(1−q) (a dropped step is a wasted scheduler tick).
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"popgraph/internal/epidemic"
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/beauquier"
+	"popgraph/internal/protocols/fastelect"
+	"popgraph/internal/protocols/idelect"
+	"popgraph/internal/sim"
+	"popgraph/internal/stats"
+	"popgraph/internal/table"
+	"popgraph/internal/xrand"
+)
+
+// measureWithDrops mirrors MeasureSteps with failure injection.
+func measureWithDrops(g graph.Graph, factory func() sim.Protocol, seed uint64,
+	nTrials int, drop float64) stats.Summary {
+	steps := make([]float64, nTrials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < nTrials; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			r := xrand.New(seed + 0x9e3779b97f4a7c15*uint64(i+1))
+			res := sim.Run(g, factory(), r, sim.Options{DropRate: drop})
+			if res.Stabilized {
+				steps[i] = float64(res.Steps)
+			}
+		}(i)
+	}
+	wg.Wait()
+	kept := steps[:0]
+	for _, s := range steps {
+		if s > 0 {
+			kept = append(kept, s)
+		}
+	}
+	return stats.Summarize(kept)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "E20",
+		Name:  "Robustness: leader election under dropped interactions",
+		Claim: "stability is schedule-oblivious: with drop rate q all protocols stabilize, slowed by ~1/(1-q)",
+		Run: func(cfg Config) error {
+			r := xrand.New(cfg.Seed + 101)
+			g := graph.Torus2D(8, 8)
+			b := epidemic.EstimateB(g, r, epidemic.Options{Sources: 2, Trials: 6})
+			params := fastelect.TunedParams(g, b)
+			factories := []struct {
+				name string
+				mk   func() sim.Protocol
+			}{
+				{"six-state", func() sim.Protocol { return beauquier.New() }},
+				{"identifier", func() sim.Protocol { return idelect.New() }},
+				{"fast", func() sim.Protocol { return fastelect.New(params) }},
+			}
+			t := table.New(fmt.Sprintf("E20 drop-rate robustness on %s", g.Name()),
+				"protocol", "q", "steps(mean)", "slowdown", "1/(1-q)")
+			nTrials := trials(cfg, 8)
+			for _, f := range factories {
+				base := 0.0
+				for _, q := range []float64{0, 0.25, 0.5, 0.75} {
+					s := measureWithDrops(g, f.mk, cfg.Seed+103, nTrials, q)
+					if q == 0 {
+						base = s.Mean
+					}
+					t.AddRow(f.name, q, s.Mean, s.Mean/base, 1/(1-q))
+				}
+			}
+			cfg.render(t)
+			return nil
+		},
+	})
+}

@@ -1,0 +1,315 @@
+package exp
+
+// This file implements the Table 1 experiments (E1–E5) and the state-
+// complexity summary (E14). Each family's table reports, per graph size
+// and protocol, the measured stabilization time next to the paper's
+// complexity shape; the "ratio" column (measured / shape) should be flat
+// across the ladder when the paper's bound has the right growth rate.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"popgraph/internal/bounds"
+	"popgraph/internal/epidemic"
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/beauquier"
+	"popgraph/internal/protocols/fastelect"
+	"popgraph/internal/protocols/idelect"
+	"popgraph/internal/protocols/star"
+	"popgraph/internal/renitent"
+	"popgraph/internal/sim"
+	"popgraph/internal/table"
+	"popgraph/internal/walk"
+	"popgraph/internal/xrand"
+)
+
+// graphStats caches the per-graph quantities the shapes need.
+type graphStats struct {
+	g graph.Graph
+	b float64 // estimated B(G)
+	h float64 // estimated H(G)
+}
+
+func measureGraphStats(g graph.Graph, seed uint64) graphStats {
+	r := xrand.New(seed)
+	gs := graphStats{g: g}
+	gs.b = epidemic.EstimateB(g, r, epidemic.Options{Sources: 3, Trials: 5})
+	gs.h = hittingEstimate(g, r)
+	return gs
+}
+
+// hittingEstimate returns H(G): closed form where known, exact linear
+// algebra for small graphs, Monte Carlo otherwise.
+func hittingEstimate(g graph.Graph, r *xrand.Rand) float64 {
+	n := g.N()
+	switch {
+	case g.M() == n*(n-1)/2:
+		return bounds.HittingClique(n)
+	case g.M() == n && graph.IsRegular(g) && g.Degree(0) == 2:
+		return bounds.HittingCycle(n)
+	case n <= 96:
+		return walk.ClassicWorstHittingExact(g)
+	default:
+		return walk.WorstHittingMC(g, r, 6, 6)
+	}
+}
+
+// protoSpec couples a protocol factory with its paper complexity shape.
+type protoSpec struct {
+	name    string
+	factory func(gs graphStats) func() sim.Protocol
+	shape   func(gs graphStats) float64
+	shapeID string
+}
+
+func identifierSpec(regular bool) protoSpec {
+	return protoSpec{
+		name: "identifier",
+		factory: func(graphStats) func() sim.Protocol {
+			if regular {
+				return func() sim.Protocol { return idelect.NewRegular() }
+			}
+			return func() sim.Protocol { return idelect.New() }
+		},
+		shape:   func(gs graphStats) float64 { return bounds.IdentifierUpper(gs.g.N(), gs.b) },
+		shapeID: "B+nlogn",
+	}
+}
+
+func fastSpec() protoSpec {
+	return protoSpec{
+		name: "fast",
+		factory: func(gs graphStats) func() sim.Protocol {
+			params := fastelect.TunedParams(gs.g, gs.b)
+			return func() sim.Protocol { return fastelect.New(params) }
+		},
+		shape:   func(gs graphStats) float64 { return bounds.FastUpper(gs.g.N(), gs.b) },
+		shapeID: "B*logn",
+	}
+}
+
+func sixStateSpec() protoSpec {
+	return protoSpec{
+		name: "six-state",
+		factory: func(graphStats) func() sim.Protocol {
+			return func() sim.Protocol { return beauquier.New() }
+		},
+		shape:   func(gs graphStats) float64 { return bounds.SixStateUpper(gs.g.N(), gs.h) },
+		shapeID: "H*nlogn",
+	}
+}
+
+// runFamily measures every protocol on every graph of a family and
+// renders one table per protocol plus scaling fits.
+func runFamily(cfg Config, title string, graphs []graph.Graph, specs []protoSpec, nTrials int) error {
+	allStats := make([]graphStats, len(graphs))
+	for i, g := range graphs {
+		allStats[i] = measureGraphStats(g, cfg.Seed+uint64(i)*131)
+	}
+	for _, spec := range specs {
+		t := table.New(fmt.Sprintf("%s — %s protocol", title, spec.name),
+			"graph", "n", "m", "B(G)est", "H(G)est", "steps(mean)", "±95%", "stab",
+			"shape("+spec.shapeID+")", "ratio", "backup")
+		// Scaling fits are per subfamily (cycles, tori, ...): mixing
+		// families with different B(G) laws into one fit is meaningless.
+		type series struct{ ns, ys []float64 }
+		bySub := make(map[string]*series)
+		var subOrder []string
+		for _, gs := range allStats {
+			m := MeasureSteps(gs.g, spec.factory(gs), cfg.Seed^0xabcd, nTrials, 0)
+			shape := spec.shape(gs)
+			ratio := math.NaN()
+			if m.Stabilized > 0 && shape > 0 {
+				ratio = m.Steps.Mean / shape
+				sub := subfamily(gs.g.Name())
+				s, ok := bySub[sub]
+				if !ok {
+					s = &series{}
+					bySub[sub] = s
+					subOrder = append(subOrder, sub)
+				}
+				s.ns = append(s.ns, float64(gs.g.N()))
+				s.ys = append(s.ys, m.Steps.Mean)
+			}
+			t.AddRow(gs.g.Name(), gs.g.N(), gs.g.M(), gs.b, gs.h,
+				m.Steps.Mean, m.Steps.CI95(),
+				fmt.Sprintf("%d/%d", m.Stabilized, m.Trials),
+				shape, ratio, m.BackupMean)
+		}
+		cfg.render(t)
+		for _, sub := range subOrder {
+			s := bySub[sub]
+			fitRow(cfg, fmt.Sprintf("%s/%s/%s", title, spec.name, sub), s.ns, s.ys)
+		}
+	}
+	fmt.Fprintln(cfg.out())
+	return nil
+}
+
+// subfamily extracts the generator family from a graph name, e.g.
+// "cycle-128" -> "cycle", "gnp-256-p0.50" -> "gnp-p0.50" (the edge
+// density changes the scaling law, so p stays part of the key).
+func subfamily(name string) string {
+	parts := strings.Split(name, "-")
+	key := parts[0]
+	for _, p := range parts[1:] {
+		if len(p) > 0 && (p[0] < '0' || p[0] > '9') {
+			key += "-" + p
+		}
+	}
+	return key
+}
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Name:  "Table 1 row: General graphs",
+		Claim: "Thm 21: O(B+nlogn) w/ O(n^4) states; Thm 24: O(B*logn) w/ O(log^2 n) states; Thm 16: O(H*nlogn) w/ O(1) states",
+		Run: func(cfg Config) error {
+			r := xrand.New(cfg.Seed + 7)
+			var graphs []graph.Graph
+			for _, n := range ladder(cfg, []int{32, 64, 128, 256}) {
+				graphs = append(graphs, graph.Lollipop(n/2, n/2))
+			}
+			for _, n := range ladder(cfg, []int{16, 24, 32}) {
+				nf := float64(n)
+				g, _, err := renitent.Theorem39Graph(n, nf*nf, r)
+				if err != nil {
+					return err
+				}
+				graphs = append(graphs, g)
+			}
+			specs := []protoSpec{identifierSpec(false), fastSpec(), sixStateSpec()}
+			return runFamily(cfg, "E1 general", graphs, specs, trials(cfg, 6))
+		},
+	})
+
+	register(Experiment{
+		ID:    "E2",
+		Name:  "Table 1 row: Regular graphs",
+		Claim: "Fast: O(n/phi*log^2 n); six-state: O(n^2/phi*log^2 n); identifier: O(n/phi*logn) (Cor 25, Thm 16, Thm 21)",
+		Run: func(cfg Config) error {
+			r := xrand.New(cfg.Seed + 11)
+			var graphs []graph.Graph
+			for _, n := range ladder(cfg, []int{32, 64, 128, 256}) {
+				graphs = append(graphs, graph.Cycle(n))
+			}
+			for _, k := range ladder(cfg, []int{6, 8, 12, 16}) {
+				graphs = append(graphs, graph.Torus2D(k, k))
+			}
+			for _, n := range ladder(cfg, []int{64, 128, 256}) {
+				g, err := graph.RandomRegular(n, 4, r)
+				if err != nil {
+					return err
+				}
+				graphs = append(graphs, g)
+			}
+			specs := []protoSpec{identifierSpec(true), fastSpec(), sixStateSpec()}
+			return runFamily(cfg, "E2 regular", graphs, specs, trials(cfg, 6))
+		},
+	})
+
+	register(Experiment{
+		ID:    "E3",
+		Name:  "Table 1 row: Cliques",
+		Claim: "Identifier: Theta(n logn); six-state: Theta(n^2)-scale; fast: O(n log^2 n)",
+		Run: func(cfg Config) error {
+			var graphs []graph.Graph
+			for _, n := range ladder(cfg, []int{64, 128, 256, 512}) {
+				graphs = append(graphs, graph.NewClique(n))
+			}
+			specs := []protoSpec{identifierSpec(true), fastSpec(), sixStateSpec()}
+			return runFamily(cfg, "E3 cliques", graphs, specs, trials(cfg, 8))
+		},
+	})
+
+	register(Experiment{
+		ID:    "E4",
+		Name:  "Table 1 row: Dense Erdos-Renyi graphs",
+		Claim: "Identifier: Theta(n logn); fast: O(n log^2 n); six-state: O(n^2 logn), and >= c*n^2 (Thm 46 shape)",
+		Run: func(cfg Config) error {
+			r := xrand.New(cfg.Seed + 13)
+			var graphs []graph.Graph
+			for _, n := range ladder(cfg, []int{64, 128, 256, 512}) {
+				for _, p := range []float64{0.25, 0.5} {
+					g, err := graph.Gnp(n, p, r)
+					if err != nil {
+						return err
+					}
+					graphs = append(graphs, g)
+				}
+			}
+			specs := []protoSpec{identifierSpec(false), fastSpec(), sixStateSpec()}
+			if err := runFamily(cfg, "E4 dense random", graphs, specs, trials(cfg, 6)); err != nil {
+				return err
+			}
+			// Theorem 46 shape: six-state stabilization / n^2 should be
+			// bounded away from zero (no o(n^2) constant-state protocol).
+			t := table.New("E4b six-state vs n^2 lower-bound shape (Thm 46)",
+				"graph", "n", "steps(mean)", "steps/n^2")
+			for _, g := range graphs {
+				m := MeasureSteps(g, func() sim.Protocol { return beauquier.New() },
+					cfg.Seed+17, trials(cfg, 6), 0)
+				n2 := float64(g.N()) * float64(g.N())
+				t.AddRow(g.Name(), g.N(), m.Steps.Mean, m.Steps.Mean/n2)
+			}
+			cfg.render(t)
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "E5",
+		Name:  "Table 1 row: Stars",
+		Claim: "Trivial O(1)-state protocol stabilizes in exactly 1 interaction on stars",
+		Run: func(cfg Config) error {
+			t := table.New("E5 stars — trivial protocol", "n", "steps(mean)", "max", "stab")
+			for _, n := range ladder(cfg, []int{16, 64, 256, 1024, 4096}) {
+				g := graph.Star(n)
+				m := MeasureSteps(g, func() sim.Protocol { return star.New() },
+					cfg.Seed+19, trials(cfg, 20), 0)
+				t.AddRow(n, m.Steps.Mean, m.Steps.Max, fmt.Sprintf("%d/%d", m.Stabilized, m.Trials))
+			}
+			cfg.render(t)
+			// Contrast: the six-state protocol needs Omega(n)-scale time on
+			// the same stars.
+			t2 := table.New("E5b stars — six-state contrast", "n", "steps(mean)", "steps/(n^2*logn)")
+			for _, n := range ladder(cfg, []int{16, 32, 64, 128}) {
+				g := graph.Star(n)
+				m := MeasureSteps(g, func() sim.Protocol { return beauquier.New() },
+					cfg.Seed+23, trials(cfg, 6), 0)
+				norm := float64(n) * float64(n) * math.Log2(float64(n))
+				t2.AddRow(n, m.Steps.Mean, m.Steps.Mean/norm)
+			}
+			cfg.render(t2)
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "E14",
+		Name:  "State complexity summary (Table 1 'States' column)",
+		Claim: "six-state: O(1); identifier: O(n^4) (O(n^3) regular); fast: O(log^2 n); star: O(1)",
+		Run: func(cfg Config) error {
+			t := table.New("E14 state complexity",
+				"n", "six-state", "identifier", "id/(12n^4)", "fast", "fast/log2(n)^2", "star")
+			for _, n := range ladder(cfg, []int{64, 256, 1024, 4096}) {
+				g := graph.NewClique(n)
+				b := float64(n) * math.Log(float64(n)) // B(K_n) scale
+				fp := fastelect.New(fastelect.TunedParams(g, b))
+				id := idelect.New()
+				log2n := math.Log2(float64(n))
+				n4 := math.Pow(float64(n), 4)
+				t.AddRow(n,
+					beauquier.New().StateCount(n),
+					id.StateCount(n), id.StateCount(n)/(12*n4),
+					fp.StateCount(n), fp.StateCount(n)/(log2n*log2n),
+					star.New().StateCount(n))
+			}
+			cfg.render(t)
+			return nil
+		},
+	})
+}

@@ -1,0 +1,239 @@
+// Package graph provides the interaction-graph substrate for the population
+// protocol simulator: a compact adjacency representation, generators for the
+// graph families studied in the paper (cliques, cycles, stars, tori, random
+// graphs, renitent constructions, ...), and structural properties (BFS
+// distances, diameter, degrees, boundaries).
+//
+// Graphs are connected, simple and undirected, with nodes 0..n-1. The
+// scheduler of the population model samples an ordered pair of adjacent
+// nodes uniformly among all 2m such pairs; SampleEdge implements exactly
+// that distribution.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"popgraph/internal/xrand"
+)
+
+// Graph is the read-only interface the simulator, the measurement code and
+// the protocols use. Implementations must describe a connected simple
+// undirected graph with nodes 0..N()-1.
+type Graph interface {
+	// N returns the number of nodes.
+	N() int
+	// M returns the number of (undirected) edges.
+	M() int
+	// Degree returns the number of edges incident to v.
+	Degree(v int) int
+	// NeighborAt returns the i-th neighbour of v, for 0 <= i < Degree(v).
+	// The ordering is arbitrary but fixed.
+	NeighborAt(v, i int) int
+	// ForEachEdge calls fn once per undirected edge {u, w}, with u < w.
+	ForEachEdge(fn func(u, w int))
+	// SampleEdge returns an ordered pair (u, w) of adjacent nodes sampled
+	// uniformly among all 2·M() ordered pairs; u is the initiator.
+	SampleEdge(r *xrand.Rand) (u, w int)
+	// Name returns a short human-readable description, e.g. "cycle-1024".
+	Name() string
+}
+
+// DiameterKnower is an optional interface for graphs whose diameter is
+// known analytically; Diameter consults it before running BFS.
+type DiameterKnower interface {
+	KnownDiameter() int
+}
+
+// Dense is the concrete adjacency-list (CSR) implementation of Graph used
+// for every family except cliques (which have an implicit representation).
+type Dense struct {
+	n       int
+	offsets []int32 // len n+1
+	adj     []int32 // len 2m, neighbours of v at offsets[v]:offsets[v+1]
+	edges   []int64 // len m, packed u<<32|w with u < w, for edge sampling
+	name    string
+	diam    int // known diameter, -1 if unknown
+}
+
+var _ Graph = (*Dense)(nil)
+var _ DiameterKnower = (*Dense)(nil)
+
+// Edge is an undirected edge {U, W}; constructors normalize U < W.
+type Edge struct {
+	U, W int32
+}
+
+// errors returned by constructors.
+var (
+	ErrDisconnected = errors.New("graph: not connected")
+	ErrInvalidEdge  = errors.New("graph: invalid edge")
+)
+
+// NewDense builds a Dense graph on n nodes from the given undirected edge
+// list. It rejects self-loops, out-of-range endpoints, duplicate edges and
+// disconnected graphs.
+func NewDense(n int, edges []Edge, name string) (*Dense, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph %q: n must be positive, got %d: %w", name, n, ErrInvalidEdge)
+	}
+	norm := make([]int64, 0, len(edges))
+	for _, e := range edges {
+		u, w := e.U, e.W
+		if u == w {
+			return nil, fmt.Errorf("graph %q: self-loop at %d: %w", name, u, ErrInvalidEdge)
+		}
+		if u < 0 || w < 0 || int(u) >= n || int(w) >= n {
+			return nil, fmt.Errorf("graph %q: edge (%d,%d) out of range [0,%d): %w", name, u, w, n, ErrInvalidEdge)
+		}
+		if u > w {
+			u, w = w, u
+		}
+		norm = append(norm, int64(u)<<32|int64(w))
+	}
+	sort.Slice(norm, func(i, j int) bool { return norm[i] < norm[j] })
+	for i := 1; i < len(norm); i++ {
+		if norm[i] == norm[i-1] {
+			return nil, fmt.Errorf("graph %q: duplicate edge (%d,%d): %w",
+				name, norm[i]>>32, norm[i]&0xffffffff, ErrInvalidEdge)
+		}
+	}
+	g := newDenseUnchecked(n, norm, name)
+	if !connected(g) {
+		return nil, fmt.Errorf("graph %q (n=%d, m=%d): %w", name, n, len(norm), ErrDisconnected)
+	}
+	return g, nil
+}
+
+// newDenseUnchecked builds the CSR structures from a deduplicated,
+// normalized (u < w) packed edge list. Callers guarantee validity.
+func newDenseUnchecked(n int, packed []int64, name string) *Dense {
+	g := &Dense{
+		n:       n,
+		offsets: make([]int32, n+1),
+		adj:     make([]int32, 2*len(packed)),
+		edges:   packed,
+		name:    name,
+		diam:    -1,
+	}
+	deg := make([]int32, n)
+	for _, e := range packed {
+		deg[e>>32]++
+		deg[e&0xffffffff]++
+	}
+	for v := 0; v < n; v++ {
+		g.offsets[v+1] = g.offsets[v] + deg[v]
+	}
+	cursor := make([]int32, n)
+	copy(cursor, g.offsets[:n])
+	for _, e := range packed {
+		u, w := int32(e>>32), int32(e&0xffffffff)
+		g.adj[cursor[u]] = w
+		cursor[u]++
+		g.adj[cursor[w]] = u
+		cursor[w]++
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Dense) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Dense) M() int { return len(g.edges) }
+
+// Degree returns the degree of v.
+func (g *Dense) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
+
+// NeighborAt returns the i-th neighbour of v.
+func (g *Dense) NeighborAt(v, i int) int { return int(g.adj[int(g.offsets[v])+i]) }
+
+// Neighbors returns a read-only view of v's neighbours.
+func (g *Dense) Neighbors(v int) []int32 { return g.adj[g.offsets[v]:g.offsets[v+1]] }
+
+// ForEachEdge calls fn once per undirected edge with u < w.
+func (g *Dense) ForEachEdge(fn func(u, w int)) {
+	for _, e := range g.edges {
+		fn(int(e>>32), int(e&0xffffffff))
+	}
+}
+
+// SampleEdge returns a uniform ordered pair of adjacent nodes.
+func (g *Dense) SampleEdge(r *xrand.Rand) (int, int) {
+	t := r.Uintn(uint64(2 * len(g.edges)))
+	e := g.edges[t>>1]
+	u, w := int(e>>32), int(e&0xffffffff)
+	if t&1 == 1 {
+		return w, u
+	}
+	return u, w
+}
+
+// Name returns the graph's description.
+func (g *Dense) Name() string { return g.name }
+
+// KnownDiameter returns the analytically known diameter, or -1.
+func (g *Dense) KnownDiameter() int { return g.diam }
+
+// setDiam is used by generators whose diameter is known in closed form.
+func (g *Dense) setDiam(d int) *Dense { g.diam = d; return g }
+
+// Clique is an implicit complete graph on n >= 2 nodes. It avoids
+// materializing the Θ(n²) edge list, so million-edge cliques stay cheap.
+type Clique struct {
+	n int
+}
+
+var _ Graph = Clique{}
+var _ DiameterKnower = Clique{}
+
+// NewClique returns the complete graph K_n. It panics if n < 2.
+func NewClique(n int) Clique {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: clique needs n >= 2, got %d", n))
+	}
+	return Clique{n: n}
+}
+
+// N returns the number of nodes.
+func (c Clique) N() int { return c.n }
+
+// M returns n(n-1)/2.
+func (c Clique) M() int { return c.n * (c.n - 1) / 2 }
+
+// Degree returns n-1 for every node.
+func (c Clique) Degree(int) int { return c.n - 1 }
+
+// NeighborAt enumerates all nodes except v.
+func (c Clique) NeighborAt(v, i int) int {
+	if i >= v {
+		return i + 1
+	}
+	return i
+}
+
+// ForEachEdge enumerates all pairs u < w.
+func (c Clique) ForEachEdge(fn func(u, w int)) {
+	for u := 0; u < c.n; u++ {
+		for w := u + 1; w < c.n; w++ {
+			fn(u, w)
+		}
+	}
+}
+
+// SampleEdge returns a uniform ordered pair of distinct nodes.
+func (c Clique) SampleEdge(r *xrand.Rand) (int, int) {
+	u := r.Intn(c.n)
+	w := r.Intn(c.n - 1)
+	if w >= u {
+		w++
+	}
+	return u, w
+}
+
+// Name returns "clique-n".
+func (c Clique) Name() string { return fmt.Sprintf("clique-%d", c.n) }
+
+// KnownDiameter returns 1.
+func (c Clique) KnownDiameter() int { return 1 }

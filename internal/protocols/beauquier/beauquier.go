@@ -1,0 +1,111 @@
+// Package beauquier implements the constant-state (6-state) stable leader
+// election protocol of Beauquier, Blanchard and Burman (OPODIS 2013), the
+// paper's space-efficiency baseline (Theorem 16).
+//
+// Each leader candidate starts holding a black token. Tokens perform
+// population-model random walks (they swap carriers on every interaction).
+// When two black tokens meet, one is recolored white; when a candidate
+// receives a white token, it becomes a follower and destroys the token.
+// The invariant #candidates = #black + #white with #black >= 1 guarantees
+// exactly one candidate survives; the configuration is stable once one
+// black and no white tokens remain.
+//
+// Expected stabilization time is O(H(G)·n log n), where H(G) is the
+// worst-case hitting time of a classic random walk on G (Theorem 16,
+// via Sudo et al. 2021).
+package beauquier
+
+import (
+	"fmt"
+
+	"popgraph/internal/core"
+	"popgraph/internal/graph"
+	"popgraph/internal/sim"
+	"popgraph/internal/xrand"
+)
+
+// Protocol is the six-state token protocol. Use New or NewWithCandidates.
+type Protocol struct {
+	candidates []int // nil means "all nodes are candidates"
+	states     []core.TokenState
+	counts     core.TokenCounts
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New returns the protocol with every node starting as a leader candidate,
+// the standard leader-election input.
+func New() *Protocol { return &Protocol{} }
+
+// NewWithCandidates returns the protocol with the given nonempty candidate
+// set as input, the variant used as a backup protocol (Theorem 16 input).
+func NewWithCandidates(candidates []int) *Protocol {
+	if len(candidates) == 0 {
+		panic("beauquier: candidate set must be nonempty")
+	}
+	return &Protocol{candidates: append([]int(nil), candidates...)}
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return "six-state" }
+
+// StateCount returns 6 for any population size.
+func (p *Protocol) StateCount(int) float64 { return 6 }
+
+// Reset implements sim.Protocol.
+func (p *Protocol) Reset(g graph.Graph, _ *xrand.Rand) {
+	n := g.N()
+	p.states = make([]core.TokenState, n)
+	p.counts = core.TokenCounts{}
+	if p.candidates == nil {
+		for v := range p.states {
+			p.states[v] = core.CandidateBlack
+		}
+		p.counts = core.TokenCounts{Candidates: n, Black: n}
+		return
+	}
+	for v := range p.states {
+		p.states[v] = core.FollowerNone
+	}
+	for _, v := range p.candidates {
+		if v < 0 || v >= n {
+			panic(fmt.Sprintf("beauquier: candidate %d out of range [0,%d)", v, n))
+		}
+		if p.states[v] == core.CandidateBlack {
+			panic(fmt.Sprintf("beauquier: duplicate candidate %d", v))
+		}
+		p.states[v] = core.CandidateBlack
+		p.counts.Add(core.CandidateBlack, 1)
+	}
+}
+
+// Step implements sim.Protocol.
+func (p *Protocol) Step(u, v int) {
+	a, b := p.states[u], p.states[v]
+	na, nb := core.TokenTransition(a, b)
+	if na != a {
+		p.counts.Add(a, -1)
+		p.counts.Add(na, 1)
+		p.states[u] = na
+	}
+	if nb != b {
+		p.counts.Add(b, -1)
+		p.counts.Add(nb, 1)
+		p.states[v] = nb
+	}
+}
+
+// Output implements sim.Protocol.
+func (p *Protocol) Output(v int) core.Role { return p.states[v].Role() }
+
+// Leaders implements sim.Protocol.
+func (p *Protocol) Leaders() int { return p.counts.Candidates }
+
+// Stable implements sim.Protocol: one black token, no white tokens.
+func (p *Protocol) Stable() bool { return p.counts.Stable() }
+
+// Counts exposes the token counters for tests and instrumentation.
+func (p *Protocol) Counts() core.TokenCounts { return p.counts }
+
+// State exposes node v's raw state for tests and instrumentation.
+func (p *Protocol) State(v int) core.TokenState { return p.states[v] }

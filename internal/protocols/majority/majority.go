@@ -1,0 +1,165 @@
+// Package majority implements exact two-valued majority on arbitrary
+// connected interaction graphs with four states, the "other fundamental
+// problem" the paper's conclusions point to as a direction for the same
+// token-based techniques (cf. Bénézit, Thiran and Vetterli's interval
+// consensus and the population-protocol majority literature).
+//
+// Each node starts with an opinion in {0, 1} held strongly. Strong
+// opinions act like the paper's random-walking tokens:
+//
+//   - two opposite strong opinions annihilate into weak opinions
+//     (preserving the difference #strong1 − #strong0, the invariant that
+//     makes the protocol exact);
+//   - a strong opinion meeting a weak one moves across the edge and
+//     converts the weak node's sign, performing exactly the
+//     population-model random walk of Section 4;
+//   - weak opinions never interact with each other.
+//
+// Once the minority's strong opinions are annihilated (a meeting-time
+// argument, Lemma 18-style), the surviving strong opinions walk the graph
+// converting every weak node (a hitting-time argument, Lemma 19-style),
+// so stabilization takes O(H(G)·n·log n) expected steps — the same bound
+// as the six-state leader election protocol. Ties (equal counts) never
+// stabilize and are rejected as input.
+package majority
+
+import (
+	"fmt"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/xrand"
+)
+
+// state is one of the four node states.
+type state uint8
+
+const (
+	weak0 state = iota
+	weak1
+	strong0
+	strong1
+)
+
+// Protocol is the 4-state exact majority protocol. It does not implement
+// sim.Protocol (outputs are opinions, not leader/follower); it has the
+// same Reset/Step/Stable shape and its own Opinion output.
+type Protocol struct {
+	inputs []bool // initial opinions; nil selected at Reset via Inputs
+	states []state
+
+	counts [4]int
+}
+
+// New returns the protocol with the given initial opinions (length must
+// equal the graph size at Reset; must not be a tie).
+func New(inputs []bool) *Protocol {
+	return &Protocol{inputs: append([]bool(nil), inputs...)}
+}
+
+// Name identifies the protocol.
+func (p *Protocol) Name() string { return "four-state-majority" }
+
+// StateCount returns 4.
+func (p *Protocol) StateCount(int) float64 { return 4 }
+
+// Reset initializes every node to a strong copy of its input opinion.
+func (p *Protocol) Reset(g graph.Graph, _ *xrand.Rand) {
+	n := g.N()
+	if len(p.inputs) != n {
+		panic(fmt.Sprintf("majority: %d inputs for %d nodes", len(p.inputs), n))
+	}
+	ones := 0
+	for _, b := range p.inputs {
+		if b {
+			ones++
+		}
+	}
+	if 2*ones == n {
+		panic("majority: tie inputs never stabilize; supply a strict majority")
+	}
+	p.states = make([]state, n)
+	p.counts = [4]int{}
+	for v, b := range p.inputs {
+		if b {
+			p.states[v] = strong1
+		} else {
+			p.states[v] = strong0
+		}
+		p.counts[p.states[v]]++
+	}
+}
+
+// Step applies one interaction (u initiator, v responder).
+func (p *Protocol) Step(u, v int) {
+	a, b := p.states[u], p.states[v]
+	na, nb := transition(a, b)
+	if na != a {
+		p.counts[a]--
+		p.counts[na]++
+		p.states[u] = na
+	}
+	if nb != b {
+		p.counts[b]--
+		p.counts[nb]++
+		p.states[v] = nb
+	}
+}
+
+// transition implements the four-state rules.
+func transition(a, b state) (state, state) {
+	switch {
+	// Annihilation: opposite strong opinions cancel into weak ones.
+	case a == strong0 && b == strong1:
+		return weak0, weak1
+	case a == strong1 && b == strong0:
+		return weak1, weak0
+	// Walk + convert: a strong opinion crosses the edge, converting the
+	// weak node it leaves behind to its own sign.
+	case a == strong0 && (b == weak0 || b == weak1):
+		return weak0, strong0
+	case a == strong1 && (b == weak0 || b == weak1):
+		return weak1, strong1
+	case b == strong0 && (a == weak0 || a == weak1):
+		return strong0, weak0
+	case b == strong1 && (a == weak0 || a == weak1):
+		return strong1, weak1
+	// Strong agreement or weak pairs: no change.
+	default:
+		return a, b
+	}
+}
+
+// Opinion returns node v's current output opinion.
+func (p *Protocol) Opinion(v int) bool {
+	s := p.states[v]
+	return s == weak1 || s == strong1
+}
+
+// Ones returns the number of nodes currently outputting opinion 1.
+func (p *Protocol) Ones() int { return p.counts[weak1] + p.counts[strong1] }
+
+// StrongDifference returns #strong1 − #strong0, the conserved quantity
+// equal to the input difference; tests assert its invariance.
+func (p *Protocol) StrongDifference() int { return p.counts[strong1] - p.counts[strong0] }
+
+// Stable reports whether the configuration is stable: only one sign
+// remains (weak and strong), so no rule can ever change an output.
+func (p *Protocol) Stable() bool {
+	zeros := p.counts[weak0] + p.counts[strong0]
+	ones := p.counts[weak1] + p.counts[strong1]
+	return (zeros == 0 && p.counts[strong1] > 0) || (ones == 0 && p.counts[strong0] > 0)
+}
+
+// Run executes the stochastic scheduler until stabilization or maxSteps;
+// it returns the step count and whether it stabilized.
+func (p *Protocol) Run(g graph.Graph, r *xrand.Rand, maxSteps int64) (int64, bool) {
+	p.Reset(g, r)
+	for t := int64(1); t <= maxSteps; t++ {
+		u, v := g.SampleEdge(r)
+		p.Step(u, v)
+		if p.Stable() {
+			return t, true
+		}
+	}
+	return maxSteps, false
+}

@@ -1,0 +1,146 @@
+package majority
+
+import (
+	"testing"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/xrand"
+)
+
+// inputsWithOnes builds an n-node input with the given number of ones.
+func inputsWithOnes(n, ones int) []bool {
+	in := make([]bool, n)
+	for i := 0; i < ones; i++ {
+		in[i] = true
+	}
+	return in
+}
+
+func TestComputesMajorityOnFamilies(t *testing.T) {
+	graphs := []graph.Graph{
+		graph.NewClique(16),
+		graph.Cycle(15),
+		graph.Star(12),
+		graph.Torus2D(3, 4),
+		graph.Lollipop(5, 4),
+	}
+	for _, g := range graphs {
+		t.Run(g.Name(), func(t *testing.T) {
+			n := g.N()
+			for _, ones := range []int{1, n/2 - 1, n/2 + 1, n - 1} {
+				if ones <= 0 || ones >= n || 2*ones == n {
+					continue
+				}
+				p := New(inputsWithOnes(n, ones))
+				r := xrand.New(uint64(100*n + ones))
+				steps, ok := p.Run(g, r, 1<<32)
+				if !ok {
+					t.Fatalf("ones=%d: no stabilization", ones)
+				}
+				want := 2*ones > n
+				for v := 0; v < n; v++ {
+					if p.Opinion(v) != want {
+						t.Fatalf("ones=%d: node %d opinion %v, majority %v (after %d steps)",
+							ones, v, p.Opinion(v), want, steps)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStrongDifferenceInvariant: #strong1 − #strong0 is conserved by
+// every interaction — the exactness invariant.
+func TestStrongDifferenceInvariant(t *testing.T) {
+	g := graph.Torus2D(4, 4)
+	p := New(inputsWithOnes(16, 9))
+	r := xrand.New(7)
+	p.Reset(g, r)
+	want := p.StrongDifference()
+	if want != 2 {
+		t.Fatalf("initial difference %d, want 2", want)
+	}
+	for i := 0; i < 100000 && !p.Stable(); i++ {
+		u, v := g.SampleEdge(r)
+		p.Step(u, v)
+		if p.StrongDifference() != want {
+			t.Fatalf("step %d: difference %d, want %d", i, p.StrongDifference(), want)
+		}
+	}
+	if !p.Stable() {
+		t.Fatal("did not stabilize")
+	}
+}
+
+func TestStabilityIsPermanent(t *testing.T) {
+	g := graph.NewClique(10)
+	p := New(inputsWithOnes(10, 7))
+	r := xrand.New(11)
+	if _, ok := p.Run(g, r, 1<<30); !ok {
+		t.Fatal("did not stabilize")
+	}
+	for i := 0; i < 30000; i++ {
+		u, v := g.SampleEdge(r)
+		p.Step(u, v)
+		if !p.Stable() {
+			t.Fatalf("stability lost at extra step %d", i)
+		}
+	}
+	// Adversarial hammering of every pair keeps outputs fixed too.
+	g.ForEachEdge(func(u, w int) {
+		p.Step(u, w)
+		p.Step(w, u)
+		if !p.Stable() {
+			t.Fatalf("stability lost under adversarial pair (%d,%d)", u, w)
+		}
+	})
+}
+
+func TestRejectsTies(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on tie input")
+		}
+	}()
+	p := New(inputsWithOnes(8, 4))
+	p.Reset(graph.NewClique(8), xrand.New(1))
+}
+
+func TestRejectsWrongInputLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := New(inputsWithOnes(5, 2))
+	p.Reset(graph.NewClique(8), xrand.New(1))
+}
+
+func TestTransitionTotalAndConservative(t *testing.T) {
+	all := []state{weak0, weak1, strong0, strong1}
+	sgn := func(s state) int {
+		switch s {
+		case strong0:
+			return -1
+		case strong1:
+			return 1
+		default:
+			return 0
+		}
+	}
+	for _, a := range all {
+		for _, b := range all {
+			na, nb := transition(a, b)
+			if sgn(na)+sgn(nb) != sgn(a)+sgn(b) {
+				t.Errorf("(%v,%v) -> (%v,%v): strong difference not conserved", a, b, na, nb)
+			}
+		}
+	}
+}
+
+func TestStateCountAndName(t *testing.T) {
+	p := New(inputsWithOnes(4, 3))
+	if p.StateCount(100) != 4 || p.Name() == "" {
+		t.Fatal("metadata")
+	}
+}

@@ -1,0 +1,84 @@
+package star
+
+import (
+	"testing"
+
+	"popgraph/internal/core"
+	"popgraph/internal/graph"
+	"popgraph/internal/sim"
+	"popgraph/internal/xrand"
+)
+
+func TestStabilizesInOneStep(t *testing.T) {
+	// Table 1, row "Stars": O(1) stabilization time. On a star every
+	// interaction involves the center, so step 1 always stabilizes.
+	for _, n := range []int{2, 3, 10, 100, 1000} {
+		g := graph.Star(n)
+		p := New()
+		res := sim.Run(g, p, xrand.New(uint64(n)), sim.Options{})
+		if !res.Stabilized || res.Steps != 1 {
+			t.Fatalf("n=%d: result %+v, want stabilization at step 1", n, res)
+		}
+		if sim.CountLeaders(g, p) != 1 {
+			t.Fatalf("n=%d: %d leaders", n, sim.CountLeaders(g, p))
+		}
+	}
+}
+
+func TestLeaderIsEndpointOfFirstInteraction(t *testing.T) {
+	g := graph.Star(8)
+	p := New()
+	res := sim.Run(g, p, xrand.New(4), sim.Options{
+		Sampler: &sim.ScriptedSampler{Pairs: [][2]int{{3, 0}}},
+	})
+	if !res.Stabilized || res.Leader != 3 {
+		t.Fatalf("result %+v, want initiator 3 as leader", res)
+	}
+	if p.Output(0) != core.Follower {
+		t.Fatal("responder must be follower")
+	}
+}
+
+func TestOutputsStableForever(t *testing.T) {
+	g := graph.Star(20)
+	p := New()
+	r := xrand.New(6)
+	res := sim.Run(g, p, r, sim.Options{})
+	leader := res.Leader
+	for i := 0; i < 5000; i++ {
+		u, v := g.SampleEdge(r)
+		p.Step(u, v)
+		if !p.Stable() || sim.FindLeader(g, p) != leader {
+			t.Fatalf("output changed after stabilization at extra step %d", i)
+		}
+	}
+}
+
+func TestRejectsNonStar(t *testing.T) {
+	for _, g := range []graph.Graph{graph.Cycle(5), graph.Path(4), graph.NewClique(4)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", g.Name())
+				}
+			}()
+			New().Reset(g, xrand.New(1))
+		}()
+	}
+}
+
+func TestTwoNodeGraphAllowed(t *testing.T) {
+	// K_2 is the 2-node star; the first interaction elects the initiator.
+	g := graph.Star(2)
+	p := New()
+	res := sim.Run(g, p, xrand.New(1), sim.Options{})
+	if !res.Stabilized || res.Steps != 1 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestStateCount(t *testing.T) {
+	if New().StateCount(1000) != 3 {
+		t.Fatal("state count must be 3")
+	}
+}

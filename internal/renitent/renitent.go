@@ -1,0 +1,330 @@
+// Package renitent implements the lower-bound constructions of Section 6:
+// (K, ℓ)-isolating covers, their isolation time Y(C), the four-copies-
+// plus-paths construction of Lemma 38 (which is Ω(ℓm)-renitent and has
+// B(G′) ∈ Θ(ℓm)), the cycle cover of Lemma 37, and the Theorem 39 builder
+// that realizes any target complexity T between n·log n and n³.
+//
+// A graph with an f(n)-isolating cover forces every stable leader
+// election protocol to take Ω(f(n)) expected steps (Theorem 34): until
+// information crosses distance ℓ, the cover's parts evolve i.i.d. up to
+// isomorphism and cannot agree on a single leader.
+package renitent
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/xrand"
+)
+
+// Cover is a (K, ℓ)-cover: node sets V_0..V_{K-1} with pairwise isomorphic
+// radius-ℓ neighbourhoods, at least one pair of disjoint radius-ℓ balls,
+// and union covering all of V. Constructors in this package build covers
+// whose isomorphism property holds by symmetry of the construction;
+// Validate checks the checkable parts (sizes, coverage, disjointness).
+type Cover struct {
+	Sets   [][]int
+	Radius int
+}
+
+// errors returned by validators and constructors.
+var (
+	ErrBadCover = errors.New("renitent: invalid cover")
+)
+
+// Validate checks the structural requirements of a (K, ℓ)-cover on g:
+// at least two parts, equal part sizes, full coverage, and some pair of
+// radius-ℓ balls disjoint. (Isomorphism of the neighbourhoods is
+// guaranteed by the symmetric constructions and not re-verified.)
+func (c Cover) Validate(g graph.Graph) error {
+	if len(c.Sets) < 2 {
+		return fmt.Errorf("%w: need >= 2 parts, got %d", ErrBadCover, len(c.Sets))
+	}
+	if c.Radius < 0 {
+		return fmt.Errorf("%w: negative radius", ErrBadCover)
+	}
+	size := len(c.Sets[0])
+	covered := make([]bool, g.N())
+	for i, set := range c.Sets {
+		if len(set) != size {
+			return fmt.Errorf("%w: part %d has size %d, part 0 has %d", ErrBadCover, i, len(set), size)
+		}
+		for _, v := range set {
+			if v < 0 || v >= g.N() {
+				return fmt.Errorf("%w: node %d out of range", ErrBadCover, v)
+			}
+			covered[v] = true
+		}
+	}
+	for v, ok := range covered {
+		if !ok {
+			return fmt.Errorf("%w: node %d not covered", ErrBadCover, v)
+		}
+	}
+	// Some pair of radius-ℓ balls must be disjoint.
+	balls := make([][]bool, len(c.Sets))
+	for i, set := range c.Sets {
+		balls[i] = graph.Ball(g, set, c.Radius)
+	}
+	for i := 0; i < len(balls); i++ {
+	next:
+		for j := i + 1; j < len(balls); j++ {
+			for v := range balls[i] {
+				if balls[i][v] && balls[j][v] {
+					continue next
+				}
+			}
+			return nil // found a disjoint pair
+		}
+	}
+	return fmt.Errorf("%w: no pair of radius-%d balls is disjoint", ErrBadCover, c.Radius)
+}
+
+// IsolationTime measures Y(C) on one sampled schedule: the first step at
+// which some part V_i is influenced by a node outside its radius-ℓ ball
+// B_ℓ(V_i), capped at maxSteps (returns maxSteps if isolation survives).
+//
+// Equivalently (and efficiently): for each part, run the influence
+// epidemic seeded by V \ B_ℓ(V_i) on the shared schedule and report the
+// first step at which it touches V_i.
+func IsolationTime(g graph.Graph, c Cover, r *xrand.Rand, maxSteps int64) int64 {
+	n := g.N()
+	k := len(c.Sets)
+	informed := make([][]bool, k)
+	inPart := make([][]bool, k)
+	for i, set := range c.Sets {
+		ball := graph.Ball(g, set, c.Radius)
+		informed[i] = make([]bool, n)
+		for v := 0; v < n; v++ {
+			informed[i][v] = !ball[v] // seeded with the complement of the ball
+		}
+		inPart[i] = make([]bool, n)
+		for _, v := range set {
+			if informed[i][v] {
+				return 0 // part already touched (radius too small)
+			}
+			inPart[i][v] = true
+		}
+	}
+	for t := int64(1); t <= maxSteps; t++ {
+		u, v := g.SampleEdge(r)
+		for i := 0; i < k; i++ {
+			inf := informed[i]
+			if inf[u] == inf[v] {
+				continue
+			}
+			inf[u] = true
+			inf[v] = true
+			if inPart[i][u] || inPart[i][v] {
+				return t
+			}
+		}
+	}
+	return maxSteps
+}
+
+// CycleCover returns the Lemma 37-style cover of C_n: four contiguous
+// arcs, with radius ℓ = ⌊n/16⌋ so that opposite arcs have disjoint
+// radius-ℓ balls. Since isolation requires the scheduler to drive
+// information across distance ℓ on a constant fraction of the cycle,
+// Y(C) = Ω(ℓ·m) = Ω(n²) with constant probability: cycles are
+// Ω(n²)-renitent. Requires n >= 32.
+func CycleCover(n int) Cover {
+	if n < 32 {
+		panic(fmt.Sprintf("renitent: CycleCover needs n >= 32, got %d", n))
+	}
+	// Four equal-size arcs starting at the quarter points; ceiling size
+	// makes the arcs overlap slightly so they cover all of [0, n).
+	sets := make([][]int, 4)
+	size := (n + 3) / 4
+	for i := 0; i < 4; i++ {
+		start := i * n / 4
+		sets[i] = make([]int, 0, size)
+		for j := 0; j < size; j++ {
+			sets[i] = append(sets[i], (start+j)%n)
+		}
+	}
+	return Cover{Sets: sets, Radius: n / 16}
+}
+
+// TorusSlabCover returns a (4, ℓ)-cover of the k-dimensional torus with
+// the given side lengths (node indexing as in graph.TorusK): four slabs
+// along dimension 0, radius ℓ = ⌊dims[0]/16⌋. Section 6.2 observes that
+// k-dimensional toroidal grids are Ω(n^{1+1/k})-renitent via exactly this
+// kind of partition: information must cross distance Θ(dims[0]) along the
+// first dimension, which takes Ω(ℓ·m) steps with constant probability.
+// Requires dims[0] >= 32 (so the radius is positive and opposite slabs'
+// balls are disjoint).
+func TorusSlabCover(dims ...int) Cover {
+	if len(dims) == 0 || dims[0] < 32 {
+		panic(fmt.Sprintf("renitent: TorusSlabCover needs dims[0] >= 32, got %v", dims))
+	}
+	rest := 1
+	for _, d := range dims[1:] {
+		rest *= d
+	}
+	d0 := dims[0]
+	slabWidth := (d0 + 3) / 4
+	sets := make([][]int, 4)
+	for i := 0; i < 4; i++ {
+		start := i * d0 / 4
+		sets[i] = make([]int, 0, slabWidth*rest)
+		for j := 0; j < slabWidth; j++ {
+			x0 := (start + j) % d0
+			for tail := 0; tail < rest; tail++ {
+				sets[i] = append(sets[i], x0*rest+tail)
+			}
+		}
+	}
+	return Cover{Sets: sets, Radius: d0 / 16}
+}
+
+// FourCopies implements the Lemma 38 construction: four disjoint copies
+// G_0..G_3 of the template H, with copy i's hub node connected to copy
+// (i+1) mod 4's hub by a fresh path of length 2ℓ (2ℓ−1 interior nodes).
+// The returned cover has parts V_i = V(G_i) ∪ V(P_i) and radius ℓ.
+//
+// The result has Θ(|V(H)|) + Θ(ℓ) nodes, Θ(|E(H)|) + Θ(ℓ) edges, diameter
+// Θ(ℓ + D(H)), is Ω(ℓm)-renitent, and B(G′) ∈ Ω(ℓm).
+func FourCopies(h *graph.Dense, hub, ell int) (*graph.Dense, Cover, error) {
+	if hub < 0 || hub >= h.N() {
+		return nil, Cover{}, fmt.Errorf("renitent: hub %d out of range: %w", hub, graph.ErrInvalidEdge)
+	}
+	if ell < 1 {
+		return nil, Cover{}, fmt.Errorf("renitent: path half-length %d < 1: %w", ell, graph.ErrInvalidEdge)
+	}
+	nh := h.N()
+	pathInterior := 2*ell - 1 // nodes strictly between the two hubs
+	n := 4*nh + 4*pathInterior
+	edges := make([]graph.Edge, 0, 4*h.M()+8*ell)
+	// Copies occupy [i·nh, (i+1)·nh); path i's interior nodes start at
+	// 4·nh + i·pathInterior.
+	for i := 0; i < 4; i++ {
+		base := i * nh
+		h.ForEachEdge(func(u, w int) {
+			edges = append(edges, graph.Edge{U: int32(base + u), W: int32(base + w)})
+		})
+	}
+	for i := 0; i < 4; i++ {
+		from := i*nh + hub
+		to := ((i+1)%4)*nh + hub
+		prev := from
+		for j := 0; j < pathInterior; j++ {
+			node := 4*nh + i*pathInterior + j
+			edges = append(edges, graph.Edge{U: int32(prev), W: int32(node)})
+			prev = node
+		}
+		edges = append(edges, graph.Edge{U: int32(prev), W: int32(to)})
+	}
+	g, err := graph.NewDense(n, edges, fmt.Sprintf("fourcopies-%s-l%d", h.Name(), ell))
+	if err != nil {
+		return nil, Cover{}, fmt.Errorf("renitent: building four-copies graph: %w", err)
+	}
+	cover := Cover{Radius: ell, Sets: make([][]int, 4)}
+	for i := 0; i < 4; i++ {
+		set := make([]int, 0, nh+pathInterior)
+		for v := 0; v < nh; v++ {
+			set = append(set, i*nh+v)
+		}
+		for j := 0; j < pathInterior; j++ {
+			set = append(set, 4*nh+i*pathInterior+j)
+		}
+		cover.Sets[i] = set
+	}
+	return g, cover, nil
+}
+
+// Theorem39Graph builds an n-node-scale graph on which both broadcast and
+// stable leader election take Θ(T(n)) expected steps, for any target
+// T with n·log n <= T <= n³ (Theorem 39). Following the proof: for
+// T ∈ ω(n²·log n) the template is a clique with ℓ = ⌈T/n²⌉; otherwise the
+// template is a star plus Θ(T/ℓ) extra edges with
+// ℓ = ⌈log n + T/(n·log n)⌉.
+func Theorem39Graph(n int, target float64, r *xrand.Rand) (*graph.Dense, Cover, error) {
+	if n < 8 {
+		return nil, Cover{}, fmt.Errorf("renitent: n = %d too small: %w", n, graph.ErrInvalidEdge)
+	}
+	nf := float64(n)
+	logn := math.Log2(nf)
+	if target < nf*logn || target > nf*nf*nf {
+		return nil, Cover{}, fmt.Errorf("renitent: target %g outside [n log n, n³]: %w",
+			target, graph.ErrInvalidEdge)
+	}
+	var h *graph.Dense
+	var ell int
+	if target > nf*nf*logn {
+		// Dense regime: clique template, long paths.
+		ell = int(math.Ceil(target / (nf * nf)))
+		h = cliqueDense(n)
+	} else {
+		// Sparse regime: star plus extra edges.
+		ell = int(math.Ceil(logn + target/(nf*logn)))
+		extra := int(target / float64(ell))
+		h = starPlusEdges(n, extra, r)
+	}
+	return fourCopiesChecked(h, ell)
+}
+
+func fourCopiesChecked(h *graph.Dense, ell int) (*graph.Dense, Cover, error) {
+	g, cover, err := FourCopies(h, 0, ell)
+	if err != nil {
+		return nil, Cover{}, err
+	}
+	if err := cover.Validate(g); err != nil {
+		return nil, Cover{}, err
+	}
+	return g, cover, nil
+}
+
+// cliqueDense materializes K_n as a Dense graph (templates must be Dense
+// so FourCopies can copy their edges).
+func cliqueDense(n int) *graph.Dense {
+	edges := make([]graph.Edge, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for w := u + 1; w < n; w++ {
+			edges = append(edges, graph.Edge{U: int32(u), W: int32(w)})
+		}
+	}
+	g, err := graph.NewDense(n, edges, fmt.Sprintf("kdense-%d", n))
+	if err != nil {
+		panic(err) // construction cannot fail
+	}
+	return g
+}
+
+// starPlusEdges returns a star on n nodes with `extra` additional random
+// leaf-to-leaf edges (the Theorem 39 sparse-regime template).
+func starPlusEdges(n, extra int, r *xrand.Rand) *graph.Dense {
+	maxExtra := (n-1)*(n-2)/2 - 1
+	if extra > maxExtra {
+		extra = maxExtra
+	}
+	seen := make(map[[2]int32]bool, extra)
+	edges := make([]graph.Edge, 0, n-1+extra)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, W: int32(v)})
+	}
+	for len(seen) < extra {
+		u := int32(1 + r.Intn(n-1))
+		w := int32(1 + r.Intn(n-1))
+		if u == w {
+			continue
+		}
+		if u > w {
+			u, w = w, u
+		}
+		key := [2]int32{u, w}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, graph.Edge{U: u, W: w})
+	}
+	g, err := graph.NewDense(n, edges, fmt.Sprintf("starplus-%d-%d", n, extra))
+	if err != nil {
+		panic(err) // star is connected; cannot fail
+	}
+	return g
+}

@@ -1,0 +1,297 @@
+package renitent
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/stats"
+	"popgraph/internal/xrand"
+)
+
+func TestCycleCoverValid(t *testing.T) {
+	for _, n := range []int{32, 33, 64, 100} {
+		g := graph.Cycle(n)
+		c := CycleCover(n)
+		if err := c.Validate(g); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		if len(c.Sets) != 4 {
+			t.Errorf("n=%d: %d parts", n, len(c.Sets))
+		}
+	}
+}
+
+func TestCycleCoverPanicsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CycleCover(16)
+}
+
+func TestCoverValidateRejectsBadCovers(t *testing.T) {
+	g := graph.Cycle(32)
+	cases := []struct {
+		name string
+		c    Cover
+	}{
+		{"one-part", Cover{Sets: [][]int{{0, 1}}, Radius: 1}},
+		{"unequal", Cover{Sets: [][]int{{0, 1}, {2}}, Radius: 1}},
+		{"negative-radius", Cover{Sets: [][]int{{0}, {16}}, Radius: -1}},
+		{"out-of-range", Cover{Sets: [][]int{{0}, {99}}, Radius: 1}},
+		{"not-covering", Cover{Sets: [][]int{{0}, {16}}, Radius: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.c.Validate(g); !errors.Is(err, ErrBadCover) {
+				t.Fatalf("got %v, want ErrBadCover", err)
+			}
+		})
+	}
+	// Balls too large: no disjoint pair.
+	full := CycleCover(32)
+	full.Radius = 16
+	if err := full.Validate(g); !errors.Is(err, ErrBadCover) {
+		t.Fatalf("oversized radius accepted: %v", err)
+	}
+}
+
+// TestLemma37CycleIsolation: cycles are Ω(n²)-renitent — the isolation
+// time of the cycle cover is at least c·ℓ·m with probability >= 1/2.
+func TestLemma37CycleIsolation(t *testing.T) {
+	const n = 64
+	g := graph.Cycle(n)
+	c := CycleCover(n)
+	if err := c.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	// Information must cross distance ℓ; each crossing needs ℓ specific
+	// edges in order, costing ≈ ℓ·m/2 steps in expectation at the median.
+	threshold := float64(c.Radius) * float64(g.M()) / 4
+	const trials = 40
+	atLeast := 0
+	for i := 0; i < trials; i++ {
+		y := IsolationTime(g, c, r, 1<<30)
+		if float64(y) >= threshold {
+			atLeast++
+		}
+	}
+	if frac := float64(atLeast) / trials; frac < 0.5 {
+		t.Errorf("Pr[Y >= %v] = %v < 1/2", threshold, frac)
+	}
+}
+
+func TestIsolationTimeZeroWhenBallTouches(t *testing.T) {
+	// Radius so large the complement seeds inside the part immediately is
+	// impossible; instead make parts adjacent to the complement: radius 0
+	// means the complement of the part itself seeds right next to it, and
+	// isolation ends at the first crossing edge, not at step 0.
+	g := graph.Cycle(32)
+	c := CycleCover(32)
+	c.Radius = 0
+	y := IsolationTime(g, c, xrand.New(5), 1<<20)
+	if y < 1 {
+		t.Fatalf("isolation time %d", y)
+	}
+}
+
+func TestTorusSlabCoverValid(t *testing.T) {
+	cases := [][]int{{32}, {32, 4}, {36, 3, 3}}
+	for _, dims := range cases {
+		g := graph.TorusK(dims...)
+		c := TorusSlabCover(dims...)
+		if err := c.Validate(g); err != nil {
+			t.Errorf("dims %v: %v", dims, err)
+		}
+	}
+}
+
+func TestTorusSlabCoverPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TorusSlabCover(16, 16)
+}
+
+// TestTorusRenitence: torus isolation time is Ω(ℓ·m) with constant
+// probability (Section 6.2). Crossing the radius-ℓ gap admits many
+// parallel edge sequences, so unlike the single-path cycle the union
+// bound needs ℓ >~ ln(#paths); we use an elongated torus (few parallel
+// columns) and the weaker constant ℓm/16 that the Lemma 5 tail plus the
+// path-count union bound supports at this size.
+func TestTorusRenitence(t *testing.T) {
+	dims := []int{96, 4}
+	g := graph.TorusK(dims...)
+	c := TorusSlabCover(dims...)
+	if err := c.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(21)
+	threshold := float64(c.Radius) * float64(g.M()) / 16
+	const trials = 30
+	atLeast := 0
+	for i := 0; i < trials; i++ {
+		if float64(IsolationTime(g, c, r, 1<<32)) >= threshold {
+			atLeast++
+		}
+	}
+	if frac := float64(atLeast) / trials; frac < 0.5 {
+		t.Errorf("Pr[Y >= lm/16] = %v < 1/2", frac)
+	}
+}
+
+// TestTorusRenitenceScaling: doubling the long dimension (at fixed column
+// count) quadruples ℓ·m and should roughly quadruple the isolation time.
+func TestTorusRenitenceScaling(t *testing.T) {
+	r := xrand.New(25)
+	means := make([]float64, 2)
+	for i, d0 := range []int{48, 96} {
+		g := graph.TorusK(d0, 4)
+		c := TorusSlabCover(d0, 4)
+		const trials = 20
+		xs := make([]float64, trials)
+		for j := range xs {
+			xs[j] = float64(IsolationTime(g, c, r, 1<<34))
+		}
+		means[i] = stats.Mean(xs)
+	}
+	ratio := means[1] / means[0]
+	if ratio < 2.4 {
+		t.Errorf("doubling d0 scaled isolation time only %vx, want ~4x", ratio)
+	}
+}
+
+func TestFourCopiesStructure(t *testing.T) {
+	h := graph.Path(5) // template: 5 nodes, 4 edges
+	g, cover, err := FourCopies(h, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = 4·5 + 4·(2·3−1) = 40; m = 4·4 + 4·2·3 = 40.
+	if g.N() != 40 || g.M() != 40 {
+		t.Fatalf("n=%d m=%d, want 40/40", g.N(), g.M())
+	}
+	if err := cover.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(cover.Sets) != 4 || cover.Radius != 3 {
+		t.Fatalf("cover %d parts radius %d", len(cover.Sets), cover.Radius)
+	}
+	// Every part has the template size plus the path interior.
+	if len(cover.Sets[0]) != 5+5 {
+		t.Fatalf("part size %d", len(cover.Sets[0]))
+	}
+}
+
+func TestFourCopiesValidation(t *testing.T) {
+	h := graph.Path(4)
+	if _, _, err := FourCopies(h, 9, 2); err == nil {
+		t.Fatal("bad hub accepted")
+	}
+	if _, _, err := FourCopies(h, 0, 0); err == nil {
+		t.Fatal("zero ell accepted")
+	}
+}
+
+// TestLemma38Renitence: the four-copies graph has isolation time Ω(ℓm)
+// with probability >= 1/2 and broadcast time Ω(ℓm).
+func TestLemma38Renitence(t *testing.T) {
+	g, cover, err := FourCopies(cliqueDense(6), 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cover.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(7)
+	threshold := float64(cover.Radius) * float64(g.M()) / 4
+	const trials = 30
+	atLeast := 0
+	for i := 0; i < trials; i++ {
+		if float64(IsolationTime(g, cover, r, 1<<30)) >= threshold {
+			atLeast++
+		}
+	}
+	if frac := float64(atLeast) / trials; frac < 0.5 {
+		t.Errorf("Pr[Y >= ℓm/4] = %v < 1/2", frac)
+	}
+}
+
+func TestTheorem39GraphRegimes(t *testing.T) {
+	r := xrand.New(9)
+	const n = 24
+	nf := float64(n)
+	logn := math.Log2(nf)
+	cases := []struct {
+		name   string
+		target float64
+	}{
+		{"sparse-nlogn", nf * logn * 2},
+		{"mid-n2", nf * nf},
+		{"dense-n3", nf * nf * nf / 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, cover, err := Theorem39Graph(n, c.target, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cover.Validate(g); err != nil {
+				t.Fatal(err)
+			}
+			if g.N() < 4*n {
+				t.Fatalf("graph too small: %d", g.N())
+			}
+		})
+	}
+	if _, _, err := Theorem39Graph(n, 1, r); err == nil {
+		t.Fatal("target below n log n accepted")
+	}
+	if _, _, err := Theorem39Graph(n, nf*nf*nf*nf, r); err == nil {
+		t.Fatal("target above n^3 accepted")
+	}
+}
+
+// TestTheorem39BroadcastScales: on the Theorem 39 graph the measured
+// broadcast time scales like the target Θ(T): doubling T roughly doubles
+// the measured isolation/broadcast time.
+func TestTheorem39BroadcastScales(t *testing.T) {
+	r := xrand.New(11)
+	const n = 16
+	nf := float64(n)
+	targets := []float64{nf * nf, 4 * nf * nf}
+	times := make([]float64, len(targets))
+	for i, target := range targets {
+		g, cover, err := Theorem39Graph(n, target, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials = 12
+		xs := make([]float64, trials)
+		for j := range xs {
+			xs[j] = float64(IsolationTime(g, cover, r, 1<<32))
+		}
+		times[i] = stats.Mean(xs)
+	}
+	ratio := times[1] / times[0]
+	if ratio < 1.8 {
+		t.Errorf("4x target produced only %vx isolation time", ratio)
+	}
+}
+
+func TestStarPlusEdgesCapsExtra(t *testing.T) {
+	g := starPlusEdges(6, 10000, xrand.New(13))
+	maxM := 5 + (5*4/2 - 1)
+	if g.M() > maxM {
+		t.Fatalf("m = %d exceeds cap %d", g.M(), maxM)
+	}
+	if graph.MaxDegree(g) != 5 {
+		t.Fatal("center must stay max degree")
+	}
+}

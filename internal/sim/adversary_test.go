@@ -1,0 +1,95 @@
+package sim_test
+
+// Stability in the paper is universally quantified: once a configuration
+// is stable, NO schedule — not just the stochastic one — may change any
+// output. These tests stabilize each protocol under the random scheduler
+// and then attack the configuration with deterministic adversarial
+// schedules: all ordered pairs in lexicographic order, in reverse, and
+// repeated hammering of the leader's incident edges.
+
+import (
+	"testing"
+
+	"popgraph/internal/core"
+	"popgraph/internal/epidemic"
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/beauquier"
+	"popgraph/internal/protocols/fastelect"
+	"popgraph/internal/protocols/idelect"
+	"popgraph/internal/sim"
+	"popgraph/internal/xrand"
+)
+
+// adversarialSchedules returns several deterministic interaction
+// sequences covering every ordered pair of g repeatedly.
+func adversarialSchedules(g graph.Graph, leader int) [][][2]int {
+	var forward, backward, hammer [][2]int
+	g.ForEachEdge(func(u, w int) {
+		forward = append(forward, [2]int{u, w}, [2]int{w, u})
+		if u == leader || w == leader {
+			for i := 0; i < 8; i++ {
+				hammer = append(hammer, [2]int{u, w}, [2]int{w, u})
+			}
+		}
+	})
+	for i := len(forward) - 1; i >= 0; i-- {
+		backward = append(backward, forward[i])
+	}
+	triple := append(append(append([][2]int{}, forward...), forward...), forward...)
+	return [][][2]int{triple, backward, hammer}
+}
+
+func attack(t *testing.T, g graph.Graph, p sim.Protocol, leader int) {
+	t.Helper()
+	outputs := make([]core.Role, g.N())
+	for v := range outputs {
+		outputs[v] = p.Output(v)
+	}
+	for si, sched := range adversarialSchedules(g, leader) {
+		for step, pair := range sched {
+			p.Step(pair[0], pair[1])
+			if !p.Stable() {
+				t.Fatalf("schedule %d step %d: stability lost", si, step)
+			}
+		}
+		for v := range outputs {
+			if p.Output(v) != outputs[v] {
+				t.Fatalf("schedule %d: output of node %d changed", si, v)
+			}
+		}
+	}
+}
+
+func protocolsUnderTest(g graph.Graph, r *xrand.Rand) []sim.Protocol {
+	b := epidemic.EstimateB(g, r, epidemic.Options{Sources: 2, Trials: 3})
+	return []sim.Protocol{
+		beauquier.New(),
+		idelect.New(),
+		fastelect.New(fastelect.TunedParams(g, b)),
+		// Tiny level cap to force the backup path under attack as well.
+		fastelect.New(fastelect.Params{H: 1, L: 2, AlphaL: 3}),
+	}
+}
+
+func TestStabilityUnderAdversarialSchedules(t *testing.T) {
+	graphs := []graph.Graph{
+		graph.NewClique(10),
+		graph.Cycle(12),
+		graph.Star(10),
+		graph.Torus2D(3, 4),
+		graph.Lollipop(5, 4),
+	}
+	for _, g := range graphs {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			r := xrand.New(77)
+			for _, p := range protocolsUnderTest(g, r) {
+				res := sim.Run(g, p, r, sim.Options{})
+				if !res.Stabilized {
+					t.Fatalf("%s did not stabilize", p.Name())
+				}
+				attack(t, g, p, res.Leader)
+			}
+		})
+	}
+}

@@ -1,0 +1,198 @@
+// Package sim provides the population-protocol execution engine: the
+// uniform random-pair scheduler loop, the Protocol interface implemented
+// by every protocol in internal/protocols, stabilization detection and
+// optional observers for instrumentation.
+//
+// A time step, as in the paper, is one pairwise interaction: the scheduler
+// samples an ordered pair (u, v) of adjacent nodes uniformly among all 2m
+// ordered pairs, u interacting as initiator and v as responder.
+package sim
+
+import (
+	"fmt"
+
+	"popgraph/internal/core"
+	"popgraph/internal/graph"
+	"popgraph/internal/xrand"
+)
+
+// Protocol is a population protocol with its per-node state stored
+// internally (structure-of-arrays for speed). Implementations keep O(1)
+// counters so Leaders and Stable are constant-time; tests cross-check the
+// counters against full scans.
+type Protocol interface {
+	// Name identifies the protocol in tables and benchmarks.
+	Name() string
+	// StateCount returns the number of distinct node states the protocol
+	// uses for population size n (possibly huge, hence float64).
+	StateCount(n int) float64
+	// Reset initializes all n nodes to the protocol's initial state for
+	// the given graph. Protocols may precompute graph-derived parameters.
+	Reset(g graph.Graph, r *xrand.Rand)
+	// Step applies one interaction with initiator u and responder v.
+	Step(u, v int)
+	// Output returns node v's current output.
+	Output(v int) core.Role
+	// Leaders returns the number of nodes currently outputting Leader.
+	Leaders() int
+	// Stable reports whether the current configuration is stable and
+	// correct: exactly one leader whose output can never change under any
+	// future schedule.
+	Stable() bool
+}
+
+// EdgeSampler abstracts the scheduler's pair sampling; graph.Graph
+// satisfies it. Tests use ScriptedSampler for deterministic interaction
+// sequences.
+type EdgeSampler interface {
+	SampleEdge(r *xrand.Rand) (u, v int)
+}
+
+// ScriptedSampler replays a fixed sequence of ordered pairs, then panics
+// if exhausted. For deterministic unit tests only.
+type ScriptedSampler struct {
+	Pairs [][2]int
+	next  int
+}
+
+// SampleEdge returns the next scripted pair.
+func (s *ScriptedSampler) SampleEdge(*xrand.Rand) (int, int) {
+	if s.next >= len(s.Pairs) {
+		panic("sim: scripted sampler exhausted")
+	}
+	p := s.Pairs[s.next]
+	s.next++
+	return p[0], p[1]
+}
+
+// Observer receives periodic callbacks during a run, for instrumentation
+// such as state-density tracking (Lemma 48 experiments).
+type Observer interface {
+	// Observe is called after step t (1-based) whenever t is a multiple of
+	// the interval passed in Options.
+	Observe(t int64)
+}
+
+// Options configures a run.
+type Options struct {
+	// MaxSteps caps the run; 0 means DefaultMaxSteps(n).
+	MaxSteps int64
+	// Sampler overrides the graph's scheduler (tests only).
+	Sampler EdgeSampler
+	// Observer, if non-nil, is called every ObserveEvery steps.
+	Observer     Observer
+	ObserveEvery int64
+	// DropRate injects communication failures: each sampled interaction
+	// is silently dropped (no state change, still counted as a step) with
+	// this probability. Stable leader election is schedule-oblivious, so
+	// protocols still stabilize, slowed by a factor 1/(1−DropRate);
+	// experiments use this to check robustness. Must be in [0, 1).
+	DropRate float64
+}
+
+// DefaultMaxSteps returns the default step cap: generous enough for the
+// slowest protocol/graph pair we simulate (constant-state protocol on a
+// lollipop runs in Θ(n⁴ log n)); runs hitting the cap report
+// Stabilized = false rather than spinning forever.
+func DefaultMaxSteps(n int) int64 {
+	nn := int64(n)
+	cap64 := nn * nn * nn * 72
+	if cap64 < 1<<22 {
+		cap64 = 1 << 22
+	}
+	return cap64
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Steps is the stabilization time (number of interactions), or the
+	// step cap when Stabilized is false.
+	Steps int64
+	// Stabilized reports whether a stable correct configuration was
+	// reached before the cap.
+	Stabilized bool
+	// Leader is the elected node, or -1 when not stabilized.
+	Leader int
+}
+
+// Run resets p on g and executes the stochastic scheduler until the
+// protocol reports a stable configuration or the step cap is hit.
+func Run(g graph.Graph, p Protocol, r *xrand.Rand, opts Options) Result {
+	if g.N() < 2 {
+		panic(fmt.Sprintf("sim: graph %q too small (n=%d)", g.Name(), g.N()))
+	}
+	p.Reset(g, r)
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps(g.N())
+	}
+	var sampler EdgeSampler = g
+	if opts.Sampler != nil {
+		sampler = opts.Sampler
+	}
+	if opts.DropRate < 0 || opts.DropRate >= 1 {
+		panic(fmt.Sprintf("sim: drop rate %v outside [0, 1)", opts.DropRate))
+	}
+	if opts.Observer != nil || opts.DropRate > 0 {
+		return runSlowPath(g, p, r, sampler, maxSteps, opts)
+	}
+	for t := int64(1); t <= maxSteps; t++ {
+		u, v := sampler.SampleEdge(r)
+		p.Step(u, v)
+		if p.Stable() {
+			return Result{Steps: t, Stabilized: true, Leader: FindLeader(g, p)}
+		}
+	}
+	return Result{Steps: maxSteps, Stabilized: false, Leader: -1}
+}
+
+// runSlowPath is the instrumented variant of the hot loop (observers
+// and/or failure injection), kept separate so the common path stays
+// branch-light.
+func runSlowPath(g graph.Graph, p Protocol, r *xrand.Rand, sampler EdgeSampler,
+	maxSteps int64, opts Options) Result {
+	every := opts.ObserveEvery
+	if every <= 0 {
+		every = 1
+	}
+	for t := int64(1); t <= maxSteps; t++ {
+		u, v := sampler.SampleEdge(r)
+		if opts.DropRate == 0 || r.Float64() >= opts.DropRate {
+			p.Step(u, v)
+		}
+		if opts.Observer != nil && t%every == 0 {
+			opts.Observer.Observe(t)
+		}
+		if p.Stable() {
+			return Result{Steps: t, Stabilized: true, Leader: FindLeader(g, p)}
+		}
+	}
+	return Result{Steps: maxSteps, Stabilized: false, Leader: -1}
+}
+
+// FindLeader scans outputs and returns the unique leader, or -1 if the
+// number of leaders is not exactly one.
+func FindLeader(g graph.Graph, p Protocol) int {
+	leader := -1
+	for v := 0; v < g.N(); v++ {
+		if p.Output(v) == core.Leader {
+			if leader >= 0 {
+				return -1
+			}
+			leader = v
+		}
+	}
+	return leader
+}
+
+// CountLeaders scans outputs and returns the number of leaders; used by
+// tests to validate protocols' O(1) Leaders counters.
+func CountLeaders(g graph.Graph, p Protocol) int {
+	count := 0
+	for v := 0; v < g.N(); v++ {
+		if p.Output(v) == core.Leader {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,179 @@
+package sim_test
+
+import (
+	"testing"
+
+	"popgraph/internal/core"
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/beauquier"
+	. "popgraph/internal/sim"
+	"popgraph/internal/xrand"
+)
+
+func TestScriptedSampler(t *testing.T) {
+	s := &ScriptedSampler{Pairs: [][2]int{{0, 1}, {2, 1}}}
+	u, v := s.SampleEdge(nil)
+	if u != 0 || v != 1 {
+		t.Fatalf("first pair (%d,%d)", u, v)
+	}
+	u, v = s.SampleEdge(nil)
+	if u != 2 || v != 1 {
+		t.Fatalf("second pair (%d,%d)", u, v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when exhausted")
+		}
+	}()
+	s.SampleEdge(nil)
+}
+
+func TestRunScriptedBeauquier(t *testing.T) {
+	// Path 0-1-2, all candidates with black tokens. Scripted:
+	// (0,1): blacks meet, responder 1 gets white, consumes it -> follower.
+	// (1,2): 1 has no token, 2 has black; swap: 1 black, 2 candidate none.
+	// (1,0): blacks meet again, responder 0 eliminated. Stable: node 2?
+	// After (1,0): initiator 1 keeps black, 0's new token white consumed,
+	// 0 becomes follower. Remaining candidate: 2. Stable at step 3.
+	g := graph.Path(3)
+	p := beauquier.New()
+	r := xrand.New(1)
+	res := Run(g, p, r, Options{
+		Sampler:  &ScriptedSampler{Pairs: [][2]int{{0, 1}, {1, 2}, {1, 0}}},
+		MaxSteps: 3,
+	})
+	if !res.Stabilized || res.Steps != 3 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Leader != 2 {
+		t.Fatalf("leader = %d, want 2", res.Leader)
+	}
+}
+
+func TestRunStabilizesAndAgreesWithScan(t *testing.T) {
+	graphs := []graph.Graph{
+		graph.NewClique(12),
+		graph.Cycle(10),
+		graph.Star(9),
+		graph.Torus2D(3, 4),
+	}
+	for _, g := range graphs {
+		t.Run(g.Name(), func(t *testing.T) {
+			p := beauquier.New()
+			r := xrand.New(42)
+			res := Run(g, p, r, Options{})
+			if !res.Stabilized {
+				t.Fatalf("did not stabilize in %d steps", res.Steps)
+			}
+			if res.Leader < 0 || res.Leader >= g.N() {
+				t.Fatalf("bad leader %d", res.Leader)
+			}
+			if got := CountLeaders(g, p); got != 1 {
+				t.Fatalf("scan found %d leaders", got)
+			}
+			if p.Output(res.Leader) != core.Leader {
+				t.Fatal("reported leader does not output leader")
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := graph.Cycle(16)
+	a := Run(g, beauquier.New(), xrand.New(7), Options{})
+	b := Run(g, beauquier.New(), xrand.New(7), Options{})
+	if a != b {
+		t.Fatalf("same seed produced different results: %+v vs %+v", a, b)
+	}
+	c := Run(g, beauquier.New(), xrand.New(8), Options{})
+	if a == c {
+		t.Log("different seeds coincided (possible but unlikely); not failing")
+	}
+}
+
+func TestRunMaxStepsCap(t *testing.T) {
+	g := graph.Cycle(64)
+	res := Run(g, beauquier.New(), xrand.New(1), Options{MaxSteps: 5})
+	if res.Stabilized {
+		t.Fatal("cannot stabilize 64 candidates in 5 steps")
+	}
+	if res.Steps != 5 || res.Leader != -1 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestRunPanicsOnTinyGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g, err := graph.NewDense(1, nil, "single")
+	if err != nil {
+		// A 1-node graph with no edges is connected; constructor allows it.
+		t.Skipf("constructor rejected: %v", err)
+	}
+	Run(g, beauquier.New(), xrand.New(1), Options{})
+}
+
+type countingObserver struct {
+	calls int
+	last  int64
+}
+
+func (o *countingObserver) Observe(t int64) { o.calls++; o.last = t }
+
+func TestObserverCadence(t *testing.T) {
+	g := graph.NewClique(8)
+	obs := &countingObserver{}
+	res := Run(g, beauquier.New(), xrand.New(3), Options{Observer: obs, ObserveEvery: 10})
+	if !res.Stabilized {
+		t.Fatal("did not stabilize")
+	}
+	want := int(res.Steps / 10)
+	if obs.calls != want {
+		t.Fatalf("observer called %d times, want %d (steps=%d)", obs.calls, want, res.Steps)
+	}
+}
+
+// TestDropRateRobustness: with interactions dropped at rate q, protocols
+// still stabilize, slowed by roughly 1/(1−q).
+func TestDropRateRobustness(t *testing.T) {
+	g := graph.NewClique(24)
+	const trials = 12
+	meanSteps := func(drop float64) float64 {
+		var total int64
+		for i := 0; i < trials; i++ {
+			res := Run(g, beauquier.New(), xrand.New(uint64(500+i)), Options{DropRate: drop})
+			if !res.Stabilized {
+				t.Fatalf("drop %v: did not stabilize", drop)
+			}
+			total += res.Steps
+		}
+		return float64(total) / trials
+	}
+	base := meanSteps(0)
+	half := meanSteps(0.5)
+	ratio := half / base
+	if ratio < 1.4 || ratio > 3.2 {
+		t.Errorf("drop 0.5 slowed by %vx, want ≈2x", ratio)
+	}
+}
+
+func TestDropRateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(graph.NewClique(4), beauquier.New(), xrand.New(1), Options{DropRate: 1})
+}
+
+func TestDefaultMaxSteps(t *testing.T) {
+	if DefaultMaxSteps(2) < 1<<22 {
+		t.Fatal("floor not applied")
+	}
+	if DefaultMaxSteps(1024) != int64(1024)*1024*1024*72 {
+		t.Fatalf("got %d", DefaultMaxSteps(1024))
+	}
+}

@@ -1,0 +1,109 @@
+// Package table renders plain-text and Markdown tables for the experiment
+// harness and the command-line tools.
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table. The zero value is not
+// usable; create with New.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// formatFloat renders floats compactly: integers without decimals, large
+// values with thousands-free scientific notation, small with 3 significant
+// digits.
+func formatFloat(v float64) string {
+	switch {
+	case v >= 1e6 || v <= -1e6:
+		return fmt.Sprintf("%.3g", v)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.headers)
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+// WriteMarkdown renders the table as GitHub-flavored Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) {
+	if t.title != "" {
+		fmt.Fprintf(w, "### %s\n\n", t.title)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.headers, " | "))
+	seps := make([]string, len(t.headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,67 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 12345.678)
+	var buf bytes.Buffer
+	tb.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Title + header + rule + two data rows.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d", len(lines))
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tb := New("md", "a", "b")
+	tb.AddRow(1, 2)
+	var buf bytes.Buffer
+	tb.WriteMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"### md", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"},
+		{-17, "-17"},
+		{0.5, "0.5"},
+		{1234.5678, "1235"},
+		{2.5e7, "2.5e+07"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.v); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "x")
+	tb.AddRow("y")
+	var buf bytes.Buffer
+	tb.WriteText(&buf)
+	if strings.Contains(buf.String(), "==") {
+		t.Error("empty title must not render a banner")
+	}
+}

@@ -1,0 +1,202 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// The generator is xoshiro256++ seeded via splitmix64, following the
+// reference constructions of Blackman and Vigna. It is not safe for
+// concurrent use; create one generator per goroutine (see Split).
+//
+// The simulator relies on xrand for reproducibility: every run of every
+// protocol, scheduler and experiment takes an explicit *Rand, so a fixed
+// seed reproduces an execution exactly.
+package xrand
+
+import "math"
+
+// Rand is a xoshiro256++ pseudo-random number generator.
+// The zero value is not valid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator deterministically seeded from seed.
+// Distinct seeds yield independent-looking streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	// splitmix64 expansion of the seed into the 256-bit state, as
+	// recommended by the xoshiro authors. splitmix64 is an equidistributed
+	// bijection, so no state can be all zeros unless all four outputs are
+	// zero, which splitmix64 cannot produce from a single stream.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split returns a new generator seeded from the current one. The child
+// stream is independent of the parent's future output for all practical
+// purposes; used to hand one generator per worker goroutine.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Uintn returns a uniform integer in [0, n). It panics if n == 0.
+// Uses Lemire's nearly-divisionless unbiased method.
+func (r *Rand) Uintn(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uintn with n == 0")
+	}
+	x := r.Uint64()
+	hi, lo := mul64(x, n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = mul64(x, n)
+		}
+	}
+	_ = lo
+	return hi
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uintn(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Geometric returns a sample of Geom(p): the number of Bernoulli(p) trials
+// up to and including the first success (support {1, 2, ...}).
+// It panics unless 0 < p <= 1.
+func (r *Rand) Geometric(p float64) int64 {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 1
+	}
+	// Inversion: ceil(ln(U) / ln(1-p)) with U in (0, 1].
+	u := 1 - r.Float64() // in (0, 1]
+	g := int64(math.Ceil(math.Log(u) / math.Log1p(-p)))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Poisson returns a sample of Poisson(lambda) using Knuth's method for
+// small lambda and a normal approximation cut for large lambda via
+// splitting (Poisson(a+b) = Poisson(a) + Poisson(b)).
+func (r *Rand) Poisson(lambda float64) int64 {
+	if lambda < 0 {
+		panic("xrand: Poisson with negative lambda")
+	}
+	var total int64
+	// Split into chunks small enough for the multiplicative method to
+	// stay within float range (e^-30 ≈ 1e-13, fine for float64).
+	for lambda > 30 {
+		total += r.poissonKnuth(30)
+		lambda -= 30
+	}
+	return total + r.poissonKnuth(lambda)
+}
+
+func (r *Rand) poissonKnuth(lambda float64) int64 {
+	limit := math.Exp(-lambda)
+	var k int64
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// Binomial returns a sample of Bin(n, p) by direct summation of Bernoulli
+// trials for small n and a BTRS-free geometric-skip method for small p.
+func (r *Rand) Binomial(n int64, p float64) int64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	// Geometric skipping: expected work O(np).
+	var count, i int64
+	for {
+		i += r.Geometric(p)
+		if i > n {
+			return count
+		}
+		count++
+	}
+}

@@ -1,0 +1,236 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams for distinct seeds collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and child streams collided %d/100 times", same)
+	}
+}
+
+func TestUintnRange(t *testing.T) {
+	r := New(3)
+	f := func(n uint64) bool {
+		if n == 0 {
+			return true
+		}
+		v := r.Uintn(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n == 0")
+		}
+	}()
+	New(1).Uintn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square-ish sanity check: 10 buckets, 100k samples.
+	r := New(11)
+	const buckets, samples = 10, 100000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(samples) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestBoolFair(t *testing.T) {
+	r := New(9)
+	heads := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool() {
+			heads++
+		}
+	}
+	if math.Abs(float64(heads)-trials/2) > 4*math.Sqrt(trials/4) {
+		t.Fatalf("Bool badly biased: %d heads of %d", heads, trials)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(17)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed contents: %v", xs)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(19)
+	for _, p := range []float64{1, 0.5, 0.1, 0.01} {
+		const trials = 50000
+		var sum int64
+		for i := 0; i < trials; i++ {
+			g := r.Geometric(p)
+			if g < 1 {
+				t.Fatalf("Geometric(%v) returned %d < 1", p, g)
+			}
+			sum += g
+		}
+		mean := float64(sum) / trials
+		want := 1 / p
+		if math.Abs(mean-want) > 0.05*want+0.01 {
+			t.Errorf("Geometric(%v): mean %v, want ~%v", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for p=%v", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+}
+
+func TestPoissonMeanVariance(t *testing.T) {
+	r := New(23)
+	for _, lambda := range []float64{0.5, 3, 20, 100} {
+		const trials = 20000
+		var sum, sumsq float64
+		for i := 0; i < trials; i++ {
+			v := float64(r.Poisson(lambda))
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / trials
+		varr := sumsq/trials - mean*mean
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("Poisson(%v): mean %v", lambda, mean)
+		}
+		if math.Abs(varr-lambda) > 0.15*lambda+0.1 {
+			t.Errorf("Poisson(%v): variance %v", lambda, varr)
+		}
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	r := New(29)
+	cases := []struct {
+		n int64
+		p float64
+	}{{100, 0.5}, {1000, 0.01}, {50, 0.9}, {10, 0}, {10, 1}}
+	for _, c := range cases {
+		const trials = 20000
+		var sum int64
+		for i := 0; i < trials; i++ {
+			v := r.Binomial(c.n, c.p)
+			if v < 0 || v > c.n {
+				t.Fatalf("Binomial(%d,%v) out of range: %d", c.n, c.p, v)
+			}
+			sum += v
+		}
+		mean := float64(sum) / trials
+		want := float64(c.n) * c.p
+		if math.Abs(mean-want) > 0.05*want+0.2 {
+			t.Errorf("Binomial(%d,%v): mean %v, want %v", c.n, c.p, mean, want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUintn(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uintn(12345)
+	}
+	_ = sink
+}

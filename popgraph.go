@@ -1,0 +1,224 @@
+// Package popgraph is a simulation library for stable leader election in
+// stochastic population protocols on graphs, reproducing "Near-Optimal
+// Leader Election in Population Protocols on Graphs" (Alistarh, Rybicki,
+// Voitovych; PODC 2022).
+//
+// # Model
+//
+// A population protocol runs on a connected graph G with n anonymous
+// nodes. In each discrete step a scheduler samples an ordered pair of
+// adjacent nodes uniformly among all 2m ordered pairs; the pair interacts
+// (initiator, responder) and both update their local state. Stable leader
+// election requires reaching a configuration with exactly one node
+// outputting leader that no future schedule can change.
+//
+// # What the library provides
+//
+//   - graph families: cliques, cycles, paths, stars, tori, grids,
+//     hypercubes, trees, lollipops, barbells, Erdős–Rényi G(n,p), random
+//     regular graphs, and the paper's renitent lower-bound constructions;
+//   - the three protocols of the paper: the constant-state six-state
+//     token protocol (Theorem 16), the identifier protocol with O(n⁴)
+//     states and O(B(G)+n log n) time (Theorem 21), and the fast
+//     space-efficient protocol with O(log² n) states and O(B(G)·log n)
+//     time (Theorem 24), plus the trivial star protocol;
+//   - measurement machinery: broadcast and propagation times (Section 3),
+//     random-walk hitting and meeting times (Section 4), streak clocks
+//     (Section 5.1), isolating covers (Section 6) and influencer-set
+//     tooling (Sections 6.3, 7);
+//   - an experiment harness regenerating every row of the paper's Table 1
+//     (see EXPERIMENTS.md and cmd/experiments).
+//
+// # Quickstart
+//
+//	r := popgraph.NewRand(42)
+//	g := popgraph.Torus(16, 16)
+//	res := popgraph.Run(g, popgraph.NewSixState(), r, popgraph.Options{})
+//	fmt.Printf("leader %d elected after %d interactions\n", res.Leader, res.Steps)
+//
+// See examples/ for complete programs.
+package popgraph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/sim"
+	"popgraph/internal/xrand"
+)
+
+// Rand is the deterministic random number generator used by all
+// simulations (xoshiro256++). Create one with NewRand.
+type Rand = xrand.Rand
+
+// NewRand returns a generator seeded deterministically from seed.
+func NewRand(seed uint64) *Rand { return xrand.New(seed) }
+
+// Graph is a connected simple undirected interaction graph. All functions
+// in this package accept any implementation; use the constructors below
+// or implement the interface for custom topologies.
+type Graph = graph.Graph
+
+// Edge is an undirected edge used by NewGraph.
+type Edge = graph.Edge
+
+// NewGraph builds a graph from an explicit edge list. It rejects
+// self-loops, duplicates and disconnected graphs.
+func NewGraph(n int, edges []Edge, name string) (Graph, error) {
+	return graph.NewDense(n, edges, name)
+}
+
+// Clique returns the complete graph K_n (implicit representation; cheap
+// even for millions of edges).
+func Clique(n int) Graph { return graph.NewClique(n) }
+
+// Cycle returns the cycle C_n.
+func Cycle(n int) Graph { return graph.Cycle(n) }
+
+// Path returns the path P_n.
+func Path(n int) Graph { return graph.Path(n) }
+
+// Star returns the star K_{1,n-1} with node 0 as center.
+func Star(n int) Graph { return graph.Star(n) }
+
+// Torus returns the rows×cols wraparound grid (4-regular; dims >= 3).
+func Torus(rows, cols int) Graph { return graph.Torus2D(rows, cols) }
+
+// Grid returns the rows×cols grid without wraparound.
+func Grid(rows, cols int) Graph { return graph.Grid2D(rows, cols) }
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim nodes.
+func Hypercube(dim int) Graph { return graph.Hypercube(dim) }
+
+// Lollipop returns a k-clique with a pathLen-node tail, a classic
+// high-hitting-time topology.
+func Lollipop(k, pathLen int) Graph { return graph.Lollipop(k, pathLen) }
+
+// Barbell returns two k-cliques joined by a path of pathLen nodes.
+func Barbell(k, pathLen int) Graph { return graph.Barbell(k, pathLen) }
+
+// Gnp samples an Erdős–Rényi graph G(n, p) conditioned on connectivity.
+func Gnp(n int, p float64, r *Rand) (Graph, error) { return graph.Gnp(n, p, r) }
+
+// RandomRegular samples a random d-regular graph conditioned on
+// connectivity (3 <= d < n, n·d even).
+func RandomRegular(n, d int, r *Rand) (Graph, error) { return graph.RandomRegular(n, d, r) }
+
+// Diameter returns the graph's diameter (exact for known families and
+// small graphs, double-sweep lower bound for large unknown ones).
+func Diameter(g Graph) int { return graph.Diameter(g) }
+
+// MaxDegree returns Δ(G).
+func MaxDegree(g Graph) int { return graph.MaxDegree(g) }
+
+// MinDegree returns δ(G).
+func MinDegree(g Graph) int { return graph.MinDegree(g) }
+
+// ParseGraph builds a graph from a compact spec string, used by the CLI
+// tools and handy in tests:
+//
+//	clique:N  cycle:N  path:N  star:N  hypercube:D  torus:RxC  grid:RxC
+//	lollipop:K:P  barbell:K:P  gnp:N:P  regular:N:D
+//
+// Random families consume randomness from r.
+func ParseGraph(spec string, r *Rand) (Graph, error) {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	argErr := func() error {
+		return fmt.Errorf("popgraph: bad graph spec %q", spec)
+	}
+	atoi := func(s string) (int, error) { return strconv.Atoi(s) }
+	switch kind {
+	case "clique", "cycle", "path", "star", "hypercube":
+		if len(parts) != 2 {
+			return nil, argErr()
+		}
+		n, err := atoi(parts[1])
+		if err != nil {
+			return nil, argErr()
+		}
+		switch kind {
+		case "clique":
+			return Clique(n), nil
+		case "cycle":
+			return Cycle(n), nil
+		case "path":
+			return Path(n), nil
+		case "star":
+			return Star(n), nil
+		default:
+			return Hypercube(n), nil
+		}
+	case "torus", "grid":
+		if len(parts) != 2 {
+			return nil, argErr()
+		}
+		dims := strings.Split(parts[1], "x")
+		if len(dims) != 2 {
+			return nil, argErr()
+		}
+		rows, err1 := atoi(dims[0])
+		cols, err2 := atoi(dims[1])
+		if err1 != nil || err2 != nil {
+			return nil, argErr()
+		}
+		if kind == "torus" {
+			return Torus(rows, cols), nil
+		}
+		return Grid(rows, cols), nil
+	case "lollipop", "barbell":
+		if len(parts) != 3 {
+			return nil, argErr()
+		}
+		k, err1 := atoi(parts[1])
+		p, err2 := atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return nil, argErr()
+		}
+		if kind == "lollipop" {
+			return Lollipop(k, p), nil
+		}
+		return Barbell(k, p), nil
+	case "gnp":
+		if len(parts) != 3 {
+			return nil, argErr()
+		}
+		n, err1 := atoi(parts[1])
+		p, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, argErr()
+		}
+		return Gnp(n, p, r)
+	case "regular":
+		if len(parts) != 3 {
+			return nil, argErr()
+		}
+		n, err1 := atoi(parts[1])
+		d, err2 := atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return nil, argErr()
+		}
+		return RandomRegular(n, d, r)
+	default:
+		return nil, argErr()
+	}
+}
+
+// Protocol is a population protocol runnable by Run; see the constructors
+// in protocols.go.
+type Protocol = sim.Protocol
+
+// Options configures a simulation run.
+type Options = sim.Options
+
+// Result reports the outcome of a run: stabilization step, success flag
+// and the elected leader.
+type Result = sim.Result
+
+// Run executes the stochastic scheduler on g until the protocol reaches a
+// stable configuration (or the step cap from opts is hit).
+func Run(g Graph, p Protocol, r *Rand, opts Options) Result {
+	return sim.Run(g, p, r, opts)
+}

@@ -1,0 +1,171 @@
+package popgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	"popgraph"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	r := popgraph.NewRand(42)
+	g := popgraph.Torus(4, 4)
+	res := popgraph.Run(g, popgraph.NewSixState(), r, popgraph.Options{})
+	if !res.Stabilized {
+		t.Fatal("did not stabilize")
+	}
+	if res.Leader < 0 || res.Leader >= g.N() {
+		t.Fatalf("bad leader %d", res.Leader)
+	}
+}
+
+func TestAllProtocolsViaFacade(t *testing.T) {
+	r := popgraph.NewRand(7)
+	g := popgraph.Clique(16)
+	protos := []popgraph.Protocol{
+		popgraph.NewSixState(),
+		popgraph.NewSixStateWithCandidates([]int{1, 5, 9}),
+		popgraph.NewIdentifier(),
+		popgraph.NewIdentifierRegular(),
+		popgraph.NewFastFor(g, r),
+	}
+	for _, p := range protos {
+		res := popgraph.Run(g, p, r, popgraph.Options{})
+		if !res.Stabilized {
+			t.Fatalf("%s did not stabilize", p.Name())
+		}
+		if p.Output(res.Leader) != popgraph.Leader {
+			t.Fatalf("%s: leader does not output leader", p.Name())
+		}
+	}
+}
+
+func TestStarProtocolViaFacade(t *testing.T) {
+	r := popgraph.NewRand(9)
+	res := popgraph.Run(popgraph.Star(64), popgraph.NewStarProtocol(), r, popgraph.Options{})
+	if !res.Stabilized || res.Steps != 1 {
+		t.Fatalf("star protocol result %+v", res)
+	}
+}
+
+func TestParseGraphSpecs(t *testing.T) {
+	r := popgraph.NewRand(11)
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"clique:10", 10},
+		{"cycle:12", 12},
+		{"path:5", 5},
+		{"star:7", 7},
+		{"hypercube:3", 8},
+		{"torus:3x4", 12},
+		{"grid:2x5", 10},
+		{"lollipop:4:3", 7},
+		{"barbell:3:2", 8},
+		{"gnp:30:0.3", 30},
+		{"regular:20:4", 20},
+	}
+	for _, c := range cases {
+		g, err := popgraph.ParseGraph(c.spec, r)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if g.N() != c.n {
+			t.Fatalf("%s: n = %d, want %d", c.spec, g.N(), c.n)
+		}
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	r := popgraph.NewRand(13)
+	for _, spec := range []string{
+		"", "nope:5", "clique", "clique:x", "torus:4", "torus:axb",
+		"gnp:10", "gnp:10:zzz", "lollipop:4", "regular:10:x",
+	} {
+		if _, err := popgraph.ParseGraph(spec, r); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	r := popgraph.NewRand(15)
+	g := popgraph.Clique(8)
+	for _, spec := range []string{"six-state", "identifier", "identifier-regular", "fast", "star"} {
+		if _, err := popgraph.ParseProtocol(spec, g, r); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+	}
+	if _, err := popgraph.ParseProtocol("bogus", g, r); err == nil ||
+		!strings.Contains(err.Error(), "bogus") {
+		t.Errorf("bad protocol error: %v", err)
+	}
+}
+
+func TestMeasurementFacade(t *testing.T) {
+	r := popgraph.NewRand(17)
+	g := popgraph.Cycle(32)
+	b := popgraph.EstimateBroadcastTime(g, r)
+	if b <= 0 {
+		t.Fatal("broadcast estimate must be positive")
+	}
+	h := popgraph.EstimateHittingTime(g, r, true)
+	if h < 255.9 || h > 256.1 {
+		t.Fatalf("H(C_32) = %v, want 256", h)
+	}
+	// The Monte-Carlo estimator maximizes noisy means over pairs, so it
+	// is upward-biased; only order of magnitude is checked here.
+	hmc := popgraph.EstimateHittingTime(g, r, false)
+	if hmc < 0.3*h || hmc > 4*h {
+		t.Fatalf("MC hitting %v far from exact %v", hmc, h)
+	}
+	tk := popgraph.PropagationTimes(g, 0, r)
+	if len(tk) != 17 {
+		t.Fatalf("propagation distances %d", len(tk))
+	}
+	if popgraph.BroadcastFrom(g, 0, r) < int64(g.N())/2 {
+		t.Fatal("broadcast below trivial bound")
+	}
+	sp := popgraph.AnalyzeSpectrum(g, r)
+	if sp.Lambda2 <= 0 || sp.SweepExpansion <= 0 {
+		t.Fatalf("spectral profile %+v", sp)
+	}
+	if sp.ConductanceLower > sp.SweepConductance+1e-3 {
+		t.Fatalf("Cheeger lower %v above sweep %v", sp.ConductanceLower, sp.SweepConductance)
+	}
+}
+
+func TestRunMajorityFacade(t *testing.T) {
+	r := popgraph.NewRand(19)
+	g := popgraph.Cycle(15)
+	inputs := make([]bool, 15)
+	for i := 0; i < 9; i++ {
+		inputs[i] = true
+	}
+	res := popgraph.RunMajority(g, inputs, r, 0)
+	if !res.Stabilized || !res.Winner {
+		t.Fatalf("majority result %+v, want stabilized winner=true", res)
+	}
+	// Flip the majority.
+	for i := range inputs {
+		inputs[i] = !inputs[i]
+	}
+	res = popgraph.RunMajority(g, inputs, r, 0)
+	if !res.Stabilized || res.Winner {
+		t.Fatalf("flipped majority result %+v, want winner=false", res)
+	}
+}
+
+func TestNewGraphFacade(t *testing.T) {
+	g, err := popgraph.NewGraph(3, []popgraph.Edge{{U: 0, W: 1}, {U: 1, W: 2}}, "vee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if popgraph.Diameter(g) != 2 || popgraph.MaxDegree(g) != 2 || popgraph.MinDegree(g) != 1 {
+		t.Fatal("facade properties wrong")
+	}
+	if _, err := popgraph.NewGraph(2, nil, "broken"); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}

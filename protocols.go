@@ -1,0 +1,131 @@
+package popgraph
+
+import (
+	"popgraph/internal/core"
+	"popgraph/internal/protocols/beauquier"
+	"popgraph/internal/protocols/fastelect"
+	"popgraph/internal/protocols/idelect"
+	"popgraph/internal/protocols/majority"
+	"popgraph/internal/protocols/star"
+)
+
+// Role is a node's output: Leader or Follower.
+type Role = core.Role
+
+// Output roles.
+const (
+	Follower = core.Follower
+	Leader   = core.Leader
+)
+
+// NewSixState returns the constant-state (6-state) token protocol of
+// Beauquier et al., the paper's space baseline: every node starts as a
+// leader candidate holding a black token; stabilization takes
+// O(H(G)·n·log n) expected steps where H(G) is the worst-case classic
+// random-walk hitting time (Theorem 16).
+func NewSixState() Protocol { return beauquier.New() }
+
+// NewSixStateWithCandidates returns the six-state protocol started from a
+// restricted nonempty candidate set (the Theorem 16 input variant used as
+// a backup protocol).
+func NewSixStateWithCandidates(candidates []int) Protocol {
+	return beauquier.NewWithCandidates(candidates)
+}
+
+// NewIdentifier returns the time-efficient identifier protocol of
+// Theorem 21: nodes draw ⌈4·log₂ n⌉-bit identifiers from the scheduler's
+// randomness and elect the maximum, with the six-state protocol as an
+// always-correct backup. O(n⁴) states, O(B(G) + n·log n) expected steps.
+func NewIdentifier() Protocol { return idelect.New() }
+
+// NewIdentifierRegular returns the Theorem 21 variant for regular graphs
+// with ⌈3·log₂ n⌉-bit identifiers and O(n³) states.
+func NewIdentifierRegular() Protocol { return idelect.NewRegular() }
+
+// FastParams are the non-uniform parameters of the fast space-efficient
+// protocol (streak length H, elimination threshold L, level cap AlphaL).
+type FastParams = fastelect.Params
+
+// FastPaperParams returns Theorem 24's parameters exactly as in the
+// paper, given an estimate of the worst-case expected broadcast time
+// B(G) (see EstimateBroadcastTime) and the failure exponent τ.
+func FastPaperParams(g Graph, broadcastTime float64, tau int) FastParams {
+	return fastelect.PaperParams(g, broadcastTime, tau)
+}
+
+// FastTunedParams returns parameters with the paper's functional form but
+// laptop-scale constants; the O(B(G)·log n) scaling is unchanged.
+func FastTunedParams(g Graph, broadcastTime float64) FastParams {
+	return fastelect.TunedParams(g, broadcastTime)
+}
+
+// NewFast returns the paper's main contribution (Section 5, Theorem 24):
+// streak-clock-driven level tournament among high-degree nodes with a
+// constant-state backup. O(log n · h(G)) ⊆ O(log² n) states and
+// O(B(G)·log n) stabilization time in expectation and w.h.p.
+func NewFast(params FastParams) Protocol { return fastelect.New(params) }
+
+// NewFastFor builds the fast protocol for g end to end: it estimates
+// B(G) with the given generator and applies the tuned parameters.
+func NewFastFor(g Graph, r *Rand) Protocol {
+	return fastelect.New(fastelect.TunedParams(g, EstimateBroadcastTime(g, r)))
+}
+
+// NewStarProtocol returns the trivial constant-state protocol that
+// stabilizes in exactly one interaction on star graphs (Table 1, row
+// "Stars"). It rejects non-star graphs at Reset.
+func NewStarProtocol() Protocol { return star.New() }
+
+// MajorityResult reports the outcome of a majority computation.
+type MajorityResult struct {
+	// Steps is the stabilization time in interactions.
+	Steps int64
+	// Stabilized reports whether a stable configuration was reached.
+	Stabilized bool
+	// Winner is the stabilized opinion (meaningful when Stabilized).
+	Winner bool
+}
+
+// RunMajority runs the extension module: exact four-state majority over
+// the boolean inputs (one per node, not a tie) on g, using the same
+// token random-walk techniques as the six-state leader election protocol.
+// Stabilization takes O(H(G)·n·log n) expected steps.
+func RunMajority(g Graph, inputs []bool, r *Rand, maxSteps int64) MajorityResult {
+	if maxSteps <= 0 {
+		maxSteps = 1 << 42
+	}
+	p := majority.New(inputs)
+	steps, ok := p.Run(g, r, maxSteps)
+	return MajorityResult{Steps: steps, Stabilized: ok, Winner: ok && p.Opinion(0)}
+}
+
+// ParseProtocol builds a protocol from a CLI spec:
+//
+//	six-state | identifier | identifier-regular | fast | star
+//
+// "fast" estimates B(G) for g using r and applies tuned parameters.
+func ParseProtocol(spec string, g Graph, r *Rand) (Protocol, error) {
+	switch spec {
+	case "six-state", "sixstate", "six":
+		return NewSixState(), nil
+	case "identifier", "id":
+		return NewIdentifier(), nil
+	case "identifier-regular", "id-regular":
+		return NewIdentifierRegular(), nil
+	case "fast":
+		return NewFastFor(g, r), nil
+	case "star":
+		return NewStarProtocol(), nil
+	default:
+		return nil, errBadProtocol(spec)
+	}
+}
+
+type badProtocolError string
+
+func (e badProtocolError) Error() string {
+	return "popgraph: unknown protocol " + string(e) +
+		" (want six-state | identifier | identifier-regular | fast | star)"
+}
+
+func errBadProtocol(spec string) error { return badProtocolError(spec) }
