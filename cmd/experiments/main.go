@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper's evaluation: every Table 1
-// row and every quantitative lemma has an experiment (E1–E14, indexed in
+// row and every quantitative lemma has an experiment (E1–E20, indexed in
 // DESIGN.md) that prints paper-vs-measured tables.
 //
 // Usage:
@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		runID    = flag.String("run", "all", "experiment id (E1..E14) or 'all'")
+		runID    = flag.String("run", "all", "experiment id (E1..E20) or 'all'")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		quick    = flag.Bool("quick", false, "smaller ladders and trial counts")
 		markdown = flag.Bool("markdown", false, "render tables as Markdown")

@@ -1,5 +1,7 @@
 // Command popsim runs a leader election protocol on a graph and reports
-// stabilization statistics.
+// stabilization statistics. Trials execute in parallel through the batch
+// runner (internal/runner) with deterministic per-trial seeds, so the
+// reported statistics are identical for any -workers value.
 //
 // Usage:
 //
@@ -16,6 +18,8 @@ import (
 	"os"
 
 	"popgraph"
+	"popgraph/internal/runner"
+	"popgraph/internal/sim"
 	"popgraph/internal/stats"
 )
 
@@ -26,16 +30,19 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "base random seed")
 		trialsN   = flag.Int("trials", 5, "number of independent runs")
 		maxSteps  = flag.Int64("max-steps", 0, "step cap per run (0 = automatic)")
+		dropRate  = flag.Float64("drop", 0, "interaction drop rate in [0,1)")
+		workers   = flag.Int("workers", 0, "parallel runs (0 = all cores)")
 		verbose   = flag.Bool("v", false, "print every run")
 	)
 	flag.Parse()
-	if err := run(*graphSpec, *protoSpec, *seed, *trialsN, *maxSteps, *verbose); err != nil {
+	if err := run(*graphSpec, *protoSpec, *seed, *trialsN, *maxSteps, *dropRate, *workers, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "popsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphSpec, protoSpec string, seed uint64, trials int, maxSteps int64, verbose bool) error {
+func run(graphSpec, protoSpec string, seed uint64, trials int, maxSteps int64,
+	dropRate float64, workers int, verbose bool) error {
 	r := popgraph.NewRand(seed)
 	g, err := popgraph.ParseGraph(graphSpec, r)
 	if err != nil {
@@ -44,30 +51,35 @@ func run(graphSpec, protoSpec string, seed uint64, trials int, maxSteps int64, v
 	fmt.Printf("graph %s: n=%d m=%d Δ=%d D=%d\n",
 		g.Name(), g.N(), g.M(), popgraph.MaxDegree(g), popgraph.Diameter(g))
 
-	// A protocol instance is reusable across runs: sim.Run resets it.
-	p, err := popgraph.ParseProtocol(protoSpec, g, r)
+	if dropRate < 0 || dropRate >= 1 {
+		return fmt.Errorf("drop rate %v outside [0, 1)", dropRate)
+	}
+	factory, err := popgraph.ProtocolFactory(protoSpec, g, r)
 	if err != nil {
 		return err
 	}
+	jobs := runner.TrialJobs(g, factory, seed, trials,
+		sim.Options{MaxSteps: maxSteps, DropRate: dropRate})
+	outcomes := runner.Pool{Workers: workers}.Run(jobs)
+
 	steps := make([]float64, 0, trials)
 	failed := 0
-	for i := 0; i < trials; i++ {
-		tr := popgraph.NewRand(seed + uint64(i)*0x9e3779b97f4a7c15)
-		res := popgraph.Run(g, p, tr, popgraph.Options{MaxSteps: maxSteps})
+	for i, o := range outcomes {
 		if verbose {
 			fmt.Printf("  run %2d: steps=%-12d stabilized=%-5v leader=%d\n",
-				i, res.Steps, res.Stabilized, res.Leader)
+				i, o.Result.Steps, o.Result.Stabilized, o.Result.Leader)
 		}
-		if !res.Stabilized {
+		if !o.Result.Stabilized {
 			failed++
 			continue
 		}
-		steps = append(steps, float64(res.Steps))
+		steps = append(steps, float64(o.Result.Steps))
 	}
 	if len(steps) == 0 {
 		return fmt.Errorf("no run stabilized within the step cap")
 	}
 	s := stats.Summarize(steps)
+	p := factory()
 	fmt.Printf("protocol %s: states=%.4g\n", p.Name(), p.StateCount(g.N()))
 	fmt.Printf("stabilization steps: mean=%.0f ±%.0f (95%% CI)  median=%.0f  min=%.0f  max=%.0f  runs=%d",
 		s.Mean, s.CI95(), s.Median, s.Min, s.Max, s.N)

@@ -1,0 +1,190 @@
+// Command sweep executes a declarative experiment grid — graph families
+// × sizes × protocols × drop rates — in parallel across all cores,
+// writes one JSON Lines record per trial, and prints a per-cell summary
+// table. Per-trial seeds are derived from the grid position, so the
+// .jsonl log and the table are byte-identical for any -workers value.
+//
+// Usage:
+//
+//	sweep -graphs clique:N,cycle:N,torus:NxN -sizes 16,32 \
+//	      -protocols six-state,identifier,fast -trials 5 -seed 42 \
+//	      -out results.jsonl
+//	sweep -spec sweep.json -workers 4 -markdown
+//
+// The -spec file is JSON with fields name, seed, trials, graphs, sizes,
+// protocols, drop_rates, max_steps (see internal/sweep); explicit flags
+// override the corresponding spec fields. Progress streams to stderr;
+// the summary table goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"popgraph/internal/results"
+	"popgraph/internal/runner"
+	"popgraph/internal/sweep"
+)
+
+func main() {
+	var (
+		specFile  = flag.String("spec", "", "JSON sweep spec file (flags override its fields)")
+		graphs    = flag.String("graphs", "", "comma-separated graph templates, N = size rung (e.g. clique:N,torus:NxN)")
+		sizes     = flag.String("sizes", "", "comma-separated size ladder substituted for N")
+		protocols = flag.String("protocols", "", "comma-separated protocols (six-state|identifier|identifier-regular|fast|star)")
+		drops     = flag.String("drop", "", "comma-separated drop rates in [0,1)")
+		trialsN   = flag.Int("trials", 0, "trials per grid cell")
+		seed      = flag.Uint64("seed", 1, "base random seed (overrides the spec file's)")
+		maxSteps  = flag.Int64("max-steps", -1, "step cap per trial (0 = automatic)")
+		workers   = flag.Int("workers", 0, "parallel trials (0 = all cores)")
+		out       = flag.String("out", "sweep.jsonl", "JSON Lines output path (empty = skip)")
+		markdown  = flag.Bool("markdown", false, "render the summary table as Markdown")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	// 0 is a valid -seed, so "was the flag given" must come from the
+	// flag set, not from a sentinel value.
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if err := run(*specFile, *graphs, *sizes, *protocols, *drops, *trialsN,
+		*seed, seedSet, *maxSteps, *workers, *out, *markdown, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specFile, graphs, sizes, protocols, drops string, trials int,
+	seed uint64, seedSet bool, maxSteps int64, workers int, out string,
+	markdown, quiet bool) error {
+	spec := sweep.Spec{Seed: 1, Trials: 5}
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return err
+		}
+		spec, err = sweep.ParseJSON(data)
+		if err != nil {
+			return err
+		}
+	}
+	if graphs != "" {
+		spec.Graphs = splitList(graphs)
+	}
+	if sizes != "" {
+		ns, err := parseInts(sizes)
+		if err != nil {
+			return fmt.Errorf("bad -sizes: %w", err)
+		}
+		spec.Sizes = ns
+	}
+	if protocols != "" {
+		spec.Protocols = splitList(protocols)
+	}
+	if drops != "" {
+		qs, err := parseFloats(drops)
+		if err != nil {
+			return fmt.Errorf("bad -drop: %w", err)
+		}
+		spec.DropRates = qs
+	}
+	if trials > 0 {
+		spec.Trials = trials
+	}
+	if seedSet {
+		spec.Seed = seed
+	}
+	if maxSteps >= 0 {
+		spec.MaxSteps = maxSteps
+	}
+
+	tasks, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	total := sweep.Trials(tasks)
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "sweep: %d cells × %d trials = %d runs\n",
+			len(tasks), spec.Trials, total)
+	}
+	pool := runner.Pool{Workers: workers}
+	if !quiet {
+		pool.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d trials", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	recs := sweep.Execute(tasks, pool)
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := results.Write(f, recs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "sweep: wrote %d records to %s\n", len(recs), out)
+		}
+	}
+
+	title := spec.Name
+	if title == "" {
+		title = "sweep"
+	}
+	t := results.SummaryTable(fmt.Sprintf("%s (seed %d)", title, spec.Seed),
+		results.Aggregate(recs))
+	if markdown {
+		t.WriteMarkdown(os.Stdout)
+	} else {
+		t.WriteText(os.Stdout)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module popgraph
+
+go 1.24

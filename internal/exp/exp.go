@@ -1,22 +1,23 @@
 // Package exp is the experiment harness that regenerates the paper's
 // evaluation: every row of Table 1 and every quantitative lemma gets a
-// paper-vs-measured experiment (E1–E14, indexed in DESIGN.md). Each
+// paper-vs-measured experiment (E1–E20, indexed in DESIGN.md). Each
 // experiment prints one or more tables; cmd/experiments is the CLI driver
 // and bench_test.go wraps each experiment in a testing.B benchmark.
+// All trial execution flows through internal/runner, so experiments are
+// parallel across CPUs yet deterministic for a fixed Config.Seed.
 package exp
 
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
+	"strconv"
 
 	"popgraph/internal/graph"
+	"popgraph/internal/runner"
 	"popgraph/internal/sim"
 	"popgraph/internal/stats"
 	"popgraph/internal/table"
-	"popgraph/internal/xrand"
 )
 
 // Config controls an experiment run.
@@ -65,18 +66,50 @@ var registry []Experiment
 
 func register(e Experiment) { registry = append(registry, e) }
 
-// All returns the registered experiments sorted by ID.
+// All returns the registered experiments sorted by ID: alphabetic prefix
+// first, then numeric suffix ("E2" before "E10", and any future "EX1"
+// after every "En").
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
 	sort.Slice(out, func(i, j int) bool {
-		// Numeric-aware: E2 before E10.
-		a, b := out[i].ID, out[j].ID
-		if len(a) != len(b) {
-			return len(a) < len(b)
-		}
-		return a < b
+		return idLess(out[i].ID, out[j].ID)
 	})
 	return out
+}
+
+// idLess orders experiment IDs by (alphabetic prefix, numeric suffix).
+// IDs whose suffix is not a plain number fall back to lexicographic
+// order after the prefix comparison.
+func idLess(a, b string) bool {
+	pa, na, oka := splitID(a)
+	pb, nb, okb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if oka && okb && na != nb {
+		return na < nb
+	}
+	if oka != okb {
+		return okb // "E" sorts before "E1"… of the same prefix
+	}
+	return a < b
+}
+
+// splitID splits an ID into its leading non-digit prefix and trailing
+// number; ok is false when the suffix is empty or not a plain number.
+func splitID(id string) (prefix string, num int, ok bool) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	if i == len(id) {
+		return id, 0, false
+	}
+	n, err := strconv.Atoi(id[i:])
+	if err != nil {
+		return id[:i], 0, false
+	}
+	return id[:i], n, true
 }
 
 // ByID returns the experiment with the given ID.
@@ -102,51 +135,39 @@ type Measurement struct {
 	BackupMean float64
 }
 
-// backupReporter is implemented by protocols with a backup phase.
-type backupReporter interface{ InBackup() int }
-
 // MeasureSteps runs `trials` independent executions of factory() on g
-// with distinct deterministic seeds, in parallel across CPUs, and
-// aggregates stabilization times. maxSteps <= 0 uses the engine default.
+// with distinct deterministic seeds, in parallel through the batch
+// runner, and aggregates stabilization times. maxSteps <= 0 uses the
+// engine default.
 func MeasureSteps(g graph.Graph, factory func() sim.Protocol, seed uint64,
 	trials int, maxSteps int64) Measurement {
-	if trials < 1 {
-		trials = 1
-	}
-	type outcome struct {
-		res    sim.Result
-		backup int
-	}
-	outcomes := make([]outcome, trials)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < trials; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
-			p := factory()
-			r := xrand.New(seed + 0x9e3779b97f4a7c15*uint64(i+1))
-			res := sim.Run(g, p, r, sim.Options{MaxSteps: maxSteps})
-			o := outcome{res: res}
-			if br, ok := p.(backupReporter); ok {
-				o.backup = br.InBackup()
-			}
-			outcomes[i] = o
-		}(i)
-	}
-	wg.Wait()
-	m := Measurement{Trials: trials}
-	steps := make([]float64, 0, trials)
+	return MeasureOpts(g, factory, seed, trials, sim.Options{MaxSteps: maxSteps})
+}
+
+// MeasureOpts is MeasureSteps with full simulation options (drop rates,
+// step caps); the per-trial seed derivation is runner.SeedFor.
+func MeasureOpts(g graph.Graph, factory func() sim.Protocol, seed uint64,
+	trials int, opts sim.Options) Measurement {
+	jobs := runner.TrialJobs(g, factory, seed, trials, opts)
+	return SummarizeOutcomes(runner.Run(jobs))
+}
+
+// SummarizeOutcomes aggregates a batch of runner outcomes into a
+// Measurement.
+func SummarizeOutcomes(outcomes []runner.Outcome) Measurement {
+	m := Measurement{Trials: len(outcomes)}
+	steps := make([]float64, 0, len(outcomes))
 	var backupSum float64
 	for _, o := range outcomes {
-		if o.res.Stabilized {
+		if o.Result.Stabilized {
 			m.Stabilized++
-			steps = append(steps, float64(o.res.Steps))
+			steps = append(steps, float64(o.Result.Steps))
 		}
-		backupSum += float64(o.backup)
+		backupSum += float64(o.Backup)
 	}
-	m.BackupMean = backupSum / float64(trials)
+	if m.Trials > 0 {
+		m.BackupMean = backupSum / float64(m.Trials)
+	}
 	if len(steps) > 0 {
 		m.Steps = stats.Summarize(steps)
 	}

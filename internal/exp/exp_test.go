@@ -2,6 +2,9 @@ package exp
 
 import (
 	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -36,6 +39,28 @@ func TestAllSortedNumerically(t *testing.T) {
 	if all[0].ID != "E1" || all[len(all)-1].ID != "E20" {
 		t.Fatalf("bad ordering: first %s last %s", all[0].ID, all[len(all)-1].ID)
 	}
+	for i, e := range all[:14] {
+		if want := fmt.Sprintf("E%d", i+1); e.ID != want {
+			t.Fatalf("position %d holds %s, want %s", i, e.ID, want)
+		}
+	}
+}
+
+func TestIDOrderingNumericAware(t *testing.T) {
+	ids := []string{"EX10", "E14", "E2", "A3", "E10", "EX2", "E1"}
+	sort.Slice(ids, func(i, j int) bool { return idLess(ids[i], ids[j]) })
+	want := []string{"A3", "E1", "E2", "E10", "E14", "EX2", "EX10"}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("sorted %v, want %v", ids, want)
+	}
+	// Length-then-lexicographic (the old rule) would misplace these:
+	// a multi-letter prefix must not interleave with single-letter IDs.
+	if idLess("EX2", "E10") {
+		t.Fatal("EX2 sorted before E10")
+	}
+	if !idLess("E2", "E10") {
+		t.Fatal("E2 not before E10")
+	}
 }
 
 func TestMeasureStepsParallelDeterministic(t *testing.T) {
@@ -51,6 +76,19 @@ func TestMeasureStepsParallelDeterministic(t *testing.T) {
 	}
 	if a.Steps.Min <= 0 {
 		t.Fatal("nonpositive steps")
+	}
+}
+
+func TestMeasureOptsWithDropsDeterministic(t *testing.T) {
+	g := graph.NewClique(12)
+	factory := func() sim.Protocol { return beauquier.New() }
+	a := MeasureOpts(g, factory, 5, 6, sim.Options{DropRate: 0.25})
+	b := MeasureOpts(g, factory, 5, 6, sim.Options{DropRate: 0.25})
+	if a != b {
+		t.Fatalf("drop-rate measurement not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Stabilized != 6 {
+		t.Fatalf("measurement %+v", a)
 	}
 }
 

@@ -7,8 +7,6 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"popgraph/internal/epidemic"
 	"popgraph/internal/graph"
@@ -16,38 +14,9 @@ import (
 	"popgraph/internal/protocols/fastelect"
 	"popgraph/internal/protocols/idelect"
 	"popgraph/internal/sim"
-	"popgraph/internal/stats"
 	"popgraph/internal/table"
 	"popgraph/internal/xrand"
 )
-
-// measureWithDrops mirrors MeasureSteps with failure injection.
-func measureWithDrops(g graph.Graph, factory func() sim.Protocol, seed uint64,
-	nTrials int, drop float64) stats.Summary {
-	steps := make([]float64, nTrials)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < nTrials; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
-			r := xrand.New(seed + 0x9e3779b97f4a7c15*uint64(i+1))
-			res := sim.Run(g, factory(), r, sim.Options{DropRate: drop})
-			if res.Stabilized {
-				steps[i] = float64(res.Steps)
-			}
-		}(i)
-	}
-	wg.Wait()
-	kept := steps[:0]
-	for _, s := range steps {
-		if s > 0 {
-			kept = append(kept, s)
-		}
-	}
-	return stats.Summarize(kept)
-}
 
 func init() {
 	register(Experiment{
@@ -73,11 +42,11 @@ func init() {
 			for _, f := range factories {
 				base := 0.0
 				for _, q := range []float64{0, 0.25, 0.5, 0.75} {
-					s := measureWithDrops(g, f.mk, cfg.Seed+103, nTrials, q)
+					m := MeasureOpts(g, f.mk, cfg.Seed+103, nTrials, sim.Options{DropRate: q})
 					if q == 0 {
-						base = s.Mean
+						base = m.Steps.Mean
 					}
-					t.AddRow(f.name, q, s.Mean, s.Mean/base, 1/(1-q))
+					t.AddRow(f.name, q, m.Steps.Mean, m.Steps.Mean/base, 1/(1-q))
 				}
 			}
 			cfg.render(t)

@@ -1,0 +1,158 @@
+// Package results defines the structured per-trial record produced by
+// batch runs (internal/runner, cmd/sweep), its JSON Lines encoding, and
+// aggregation of raw records into per-configuration summary statistics
+// rendered through internal/table.
+//
+// The encoding is deliberately boring: one JSON object per line, fixed
+// field order (Go struct order), no timestamps or host-dependent fields,
+// so that the same seed and spec produce byte-identical logs regardless
+// of worker count or machine.
+package results
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"popgraph/internal/stats"
+	"popgraph/internal/table"
+)
+
+// Record is the outcome of one simulation trial.
+type Record struct {
+	// Graph is the graph's display name (e.g. "torus-8x8"); N and M are
+	// its node and edge counts.
+	Graph string `json:"graph"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	// Protocol is the protocol's display name.
+	Protocol string `json:"protocol"`
+	// Trial is the 0-based trial index within its configuration; Seed is
+	// the exact generator seed the trial ran with.
+	Trial int    `json:"trial"`
+	Seed  uint64 `json:"seed"`
+	// DropRate is the injected interaction-failure probability.
+	DropRate float64 `json:"drop_rate,omitempty"`
+	// Steps is the stabilization time in interactions (or the cap when
+	// Stabilized is false); Leader is the elected node or -1.
+	Steps      int64 `json:"steps"`
+	Stabilized bool  `json:"stabilized"`
+	Leader     int   `json:"leader"`
+	// Backup is the number of nodes that entered a backup phase.
+	Backup int `json:"backup,omitempty"`
+}
+
+// Key identifies a record's configuration: one cell of a sweep grid.
+type Key struct {
+	Graph    string
+	Protocol string
+	DropRate float64
+}
+
+// Key returns the record's configuration key.
+func (r Record) Key() Key {
+	return Key{Graph: r.Graph, Protocol: r.Protocol, DropRate: r.DropRate}
+}
+
+// Write encodes records as JSON Lines. The output is deterministic:
+// records are written in slice order with fixed field order.
+func Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("results: encoding record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a JSON Lines stream previously produced by Write. Blank
+// lines are skipped; any malformed line is an error.
+func Read(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("results: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	return recs, nil
+}
+
+// Group summarizes all trials of one configuration.
+type Group struct {
+	Key
+	N, M int
+	// Trials is the total trial count; Stabilized of them reached a
+	// stable configuration before the step cap.
+	Trials, Stabilized int
+	// Steps summarizes the stabilization times of the stabilized trials
+	// (zero value when none stabilized).
+	Steps stats.Summary
+	// BackupMean is the mean number of backup-phase nodes per trial.
+	BackupMean float64
+}
+
+// Aggregate groups records by configuration key, preserving first-
+// appearance order, and summarizes each group's stabilization times.
+func Aggregate(recs []Record) []Group {
+	index := make(map[Key]int)
+	var order []Key
+	steps := make(map[Key][]float64)
+	backup := make(map[Key]float64)
+	groups := make(map[Key]*Group)
+	for _, rec := range recs {
+		k := rec.Key()
+		if _, ok := index[k]; !ok {
+			index[k] = len(order)
+			order = append(order, k)
+			groups[k] = &Group{Key: k, N: rec.N, M: rec.M}
+		}
+		g := groups[k]
+		g.Trials++
+		backup[k] += float64(rec.Backup)
+		if rec.Stabilized {
+			g.Stabilized++
+			steps[k] = append(steps[k], float64(rec.Steps))
+		}
+	}
+	out := make([]Group, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		if len(steps[k]) > 0 {
+			g.Steps = stats.Summarize(steps[k])
+		}
+		g.BackupMean = backup[k] / float64(g.Trials)
+		out = append(out, *g)
+	}
+	return out
+}
+
+// SummaryTable renders aggregated groups as one table row per
+// configuration.
+func SummaryTable(title string, groups []Group) *table.Table {
+	t := table.New(title,
+		"graph", "n", "m", "protocol", "drop", "steps(mean)", "±95%",
+		"median", "max", "stab", "backup")
+	for _, g := range groups {
+		t.AddRow(g.Graph, g.N, g.M, g.Protocol, g.DropRate,
+			g.Steps.Mean, g.Steps.CI95(), g.Steps.Median, g.Steps.Max,
+			fmt.Sprintf("%d/%d", g.Stabilized, g.Trials), g.BackupMean)
+	}
+	return t
+}

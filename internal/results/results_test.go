@@ -1,0 +1,109 @@
+package results
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() []Record {
+	return []Record{
+		{Graph: "clique-16", N: 16, M: 120, Protocol: "six-state", Trial: 0,
+			Seed: 11, Steps: 1000, Stabilized: true, Leader: 3},
+		{Graph: "clique-16", N: 16, M: 120, Protocol: "six-state", Trial: 1,
+			Seed: 12, Steps: 2000, Stabilized: true, Leader: 7},
+		{Graph: "clique-16", N: 16, M: 120, Protocol: "six-state", Trial: 2,
+			Seed: 13, Steps: 5000, Stabilized: false, Leader: -1},
+		{Graph: "cycle-8", N: 8, M: 8, Protocol: "fast", Trial: 0,
+			Seed: 21, DropRate: 0.25, Steps: 300, Stabilized: true, Leader: 0, Backup: 2},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(recs) {
+		t.Fatalf("wrote %d lines, want %d", got, len(recs))
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Write(&a, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same records differ")
+	}
+}
+
+func TestReadSkipsBlankAndRejectsGarbage(t *testing.T) {
+	recs, err := Read(strings.NewReader("\n{\"graph\":\"g\",\"n\":2,\"m\":1,\"protocol\":\"p\",\"trial\":0,\"seed\":1,\"steps\":5,\"stabilized\":true,\"leader\":1}\n\n"))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs %v err %v", recs, err)
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	groups := Aggregate(sample())
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	g0 := groups[0]
+	if g0.Graph != "clique-16" || g0.Protocol != "six-state" || g0.DropRate != 0 {
+		t.Fatalf("first group key %+v", g0.Key)
+	}
+	if g0.Trials != 3 || g0.Stabilized != 2 {
+		t.Fatalf("first group counts %+v", g0)
+	}
+	if g0.Steps.Mean != 1500 || g0.Steps.N != 2 {
+		t.Fatalf("first group summary %+v", g0.Steps)
+	}
+	g1 := groups[1]
+	if g1.Graph != "cycle-8" || g1.DropRate != 0.25 || g1.Trials != 1 {
+		t.Fatalf("second group %+v", g1)
+	}
+	if g1.BackupMean != 2 {
+		t.Fatalf("backup mean %v, want 2", g1.BackupMean)
+	}
+}
+
+func TestAggregateEmptyGroupSummary(t *testing.T) {
+	recs := []Record{{Graph: "g", N: 4, M: 3, Protocol: "p", Steps: 99, Stabilized: false, Leader: -1}}
+	groups := Aggregate(recs)
+	if len(groups) != 1 || groups[0].Steps.N != 0 || groups[0].Stabilized != 0 {
+		t.Fatalf("groups %+v", groups)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	var buf bytes.Buffer
+	SummaryTable("demo", Aggregate(sample())).WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "clique-16", "six-state", "2/3", "cycle-8", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}

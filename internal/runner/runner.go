@@ -1,0 +1,135 @@
+// Package runner is the batch trial scheduler: it fans independent
+// simulation trials across a worker pool while keeping results
+// deterministic. Every trial carries its own explicit seed, derived from
+// a base seed and the trial index, and outcomes are returned in job
+// order, so a batch produces byte-identical results at one worker and at
+// runtime.NumCPU() workers.
+//
+// The experiment harness (internal/exp), cmd/popsim and cmd/sweep all
+// execute their trials through this package.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/sim"
+	"popgraph/internal/xrand"
+)
+
+// goldenGamma is the 64-bit golden-ratio increment used to derive
+// per-trial seeds; distinct trials land in well-separated splitmix
+// streams.
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// SeedFor derives the deterministic seed of trial i (0-based) from a
+// base seed. The derivation is position-only: it does not depend on
+// worker count or scheduling order.
+func SeedFor(base uint64, trial int) uint64 {
+	return base + goldenGamma*uint64(trial+1)
+}
+
+// Job is one independent simulation trial: a protocol instance from New
+// runs on Graph with a private generator seeded from Seed.
+type Job struct {
+	Graph graph.Graph
+	// New must return a fresh protocol instance; instances are never
+	// shared between concurrently running jobs.
+	New  func() sim.Protocol
+	Seed uint64
+	Opts sim.Options
+}
+
+// Outcome is the result of one Job.
+type Outcome struct {
+	Result sim.Result
+	// Backup is the number of nodes that entered the protocol's backup
+	// phase (0 for protocols without one).
+	Backup int
+}
+
+// backupReporter is implemented by protocols with a backup phase.
+type backupReporter interface{ InBackup() int }
+
+// Pool schedules jobs across worker goroutines.
+type Pool struct {
+	// Workers is the number of concurrent trials; <= 0 means
+	// GOMAXPROCS(0).
+	Workers int
+	// Progress, if non-nil, is called after each trial completes with the
+	// number of finished trials and the total. Calls are serialized.
+	Progress func(done, total int)
+}
+
+// Run executes all jobs and returns their outcomes in job order,
+// independent of worker count. It blocks until every job has finished.
+func (p Pool) Run(jobs []Job) []Outcome {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	outcomes := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return outcomes
+	}
+	var (
+		next int64 = -1
+		done int   // guarded by mu, so Progress sees strictly increasing counts
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				outcomes[i] = runOne(jobs[i])
+				if p.Progress != nil {
+					mu.Lock()
+					done++
+					p.Progress(done, len(jobs))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// Run executes jobs with the default pool (one worker per CPU).
+func Run(jobs []Job) []Outcome { return Pool{}.Run(jobs) }
+
+func runOne(j Job) Outcome {
+	p := j.New()
+	r := xrand.New(j.Seed)
+	o := Outcome{Result: sim.Run(j.Graph, p, r, j.Opts)}
+	if br, ok := p.(backupReporter); ok {
+		o.Backup = br.InBackup()
+	}
+	return o
+}
+
+// TrialJobs builds the standard batch: trials independent repetitions of
+// factory() on g, seeding trial i with SeedFor(seed, i). trials < 1 is
+// treated as 1.
+func TrialJobs(g graph.Graph, factory func() sim.Protocol, seed uint64,
+	trials int, opts sim.Options) []Job {
+	if trials < 1 {
+		trials = 1
+	}
+	jobs := make([]Job, trials)
+	for i := range jobs {
+		jobs[i] = Job{Graph: g, New: factory, Seed: SeedFor(seed, i), Opts: opts}
+	}
+	return jobs
+}

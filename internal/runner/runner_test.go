@@ -1,0 +1,119 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/beauquier"
+	"popgraph/internal/protocols/star"
+	"popgraph/internal/sim"
+)
+
+func factory() sim.Protocol { return beauquier.New() }
+
+func TestSeedForMatchesLegacyDerivation(t *testing.T) {
+	// The experiment harness derived trial seeds as
+	// seed + gamma*(i+1) before the runner existed; published numbers
+	// depend on it, so SeedFor must reproduce it exactly.
+	const base = 12345
+	for i := 0; i < 4; i++ {
+		want := uint64(base) + 0x9e3779b97f4a7c15*uint64(i+1)
+		if got := SeedFor(base, i); got != want {
+			t.Fatalf("SeedFor(%d, %d) = %d, want %d", base, i, got, want)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := graph.NewClique(16)
+	jobs := TrialJobs(g, factory, 99, 12, sim.Options{})
+	serial := Pool{Workers: 1}.Run(jobs)
+	parallel := Pool{Workers: runtime.NumCPU()}.Run(jobs)
+	if len(serial) != 12 || len(parallel) != 12 {
+		t.Fatalf("outcome counts %d, %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("trial %d diverged: serial %+v parallel %+v",
+				i, serial[i], parallel[i])
+		}
+		if !serial[i].Result.Stabilized || serial[i].Result.Steps <= 0 {
+			t.Fatalf("trial %d did not stabilize: %+v", i, serial[i])
+		}
+	}
+}
+
+func TestRunWithDropRateDeterministic(t *testing.T) {
+	g := graph.Cycle(12)
+	jobs := TrialJobs(g, factory, 7, 6, sim.Options{DropRate: 0.5})
+	a := Pool{Workers: 1}.Run(jobs)
+	b := Pool{Workers: 4}.Run(jobs)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d diverged under drops: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScriptedSamplerThroughRunner(t *testing.T) {
+	// The star protocol stabilizes on the first interaction, so a
+	// one-pair script is a complete deterministic run.
+	g := graph.Star(5)
+	jobs := []Job{{
+		Graph: g,
+		New:   func() sim.Protocol { return star.New() },
+		Seed:  1,
+		Opts: sim.Options{
+			Sampler:  &sim.ScriptedSampler{Pairs: [][2]int{{0, 3}}},
+			MaxSteps: 1,
+		},
+	}}
+	out := Run(jobs)
+	if len(out) != 1 || !out[0].Result.Stabilized || out[0].Result.Steps != 1 {
+		t.Fatalf("scripted run outcome %+v", out)
+	}
+	if out[0].Result.Leader != 0 {
+		t.Fatalf("leader %d, want center 0", out[0].Result.Leader)
+	}
+}
+
+func TestProgressReportsEveryTrial(t *testing.T) {
+	g := graph.NewClique(8)
+	jobs := TrialJobs(g, factory, 3, 9, sim.Options{})
+	var mu sync.Mutex
+	var dones []int
+	pool := Pool{Workers: 4, Progress: func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if total != 9 {
+			t.Errorf("total %d, want 9", total)
+		}
+		dones = append(dones, done)
+	}}
+	pool.Run(jobs)
+	if len(dones) != 9 {
+		t.Fatalf("progress called %d times, want 9", len(dones))
+	}
+	// Calls are serialized and counted under one lock, so the reported
+	// counts must be exactly 1..total in order.
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress counts out of order: %v", dones)
+		}
+	}
+}
+
+func TestTrialJobsFloorsAtOne(t *testing.T) {
+	g := graph.NewClique(4)
+	if got := len(TrialJobs(g, factory, 1, 0, sim.Options{})); got != 1 {
+		t.Fatalf("TrialJobs with 0 trials built %d jobs, want 1", got)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if got := Run(nil); len(got) != 0 {
+		t.Fatalf("Run(nil) returned %d outcomes", len(got))
+	}
+}

@@ -1,0 +1,249 @@
+// Package sweep turns a declarative experiment grid — graph spec
+// templates × size ladder × protocols × drop rates — into a batch of
+// deterministic trials for internal/runner, and its outcomes into
+// internal/results records.
+//
+// A spec is either assembled from CLI flags (cmd/sweep) or parsed from a
+// JSON file:
+//
+//	{
+//	  "name": "table1-smoke",
+//	  "seed": 42,
+//	  "trials": 5,
+//	  "graphs": ["clique:N", "cycle:N", "torus:NxN"],
+//	  "sizes": [16, 32],
+//	  "protocols": ["six-state", "identifier", "fast"],
+//	  "drop_rates": [0, 0.25]
+//	}
+//
+// Graph templates use the popgraph.ParseGraph grammar with the literal
+// letter N standing for a rung of the size ladder ("torus:NxN" becomes
+// "torus:16x16"); templates without an N are fixed graphs, used once.
+// Every trial's seed is derived from the spec seed, the cell's position
+// in the grid and the trial index, so results are independent of worker
+// count and identical across runs.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"popgraph"
+	"popgraph/internal/graph"
+	"popgraph/internal/results"
+	"popgraph/internal/runner"
+	"popgraph/internal/sim"
+	"popgraph/internal/xrand"
+)
+
+// Spec is a declarative sweep: the cross product of graphs (templates ×
+// sizes), protocols and drop rates, each cell run Trials times.
+type Spec struct {
+	// Name labels the sweep in tables and logs.
+	Name string `json:"name,omitempty"`
+	// Seed is the base seed every per-trial seed derives from.
+	Seed uint64 `json:"seed"`
+	// Trials is the number of independent runs per grid cell.
+	Trials int `json:"trials"`
+	// Graphs are ParseGraph spec templates; the letter N is replaced by
+	// each value of Sizes.
+	Graphs []string `json:"graphs"`
+	// Sizes is the size ladder substituted into templates containing N.
+	Sizes []int `json:"sizes,omitempty"`
+	// Protocols are ParseProtocol specs.
+	Protocols []string `json:"protocols"`
+	// DropRates are interaction-failure probabilities in [0, 1); empty
+	// means the single rate 0.
+	DropRates []float64 `json:"drop_rates,omitempty"`
+	// MaxSteps caps each trial; 0 means the engine default.
+	MaxSteps int64 `json:"max_steps,omitempty"`
+}
+
+// ParseJSON decodes and validates a spec from JSON. Unknown fields are
+// rejected to catch typos in hand-written spec files.
+func ParseJSON(data []byte) (Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("sweep: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Validate checks the spec for structural errors.
+func (s Spec) Validate() error {
+	if s.Trials < 1 {
+		return fmt.Errorf("sweep: trials must be >= 1 (got %d)", s.Trials)
+	}
+	if len(s.Graphs) == 0 {
+		return fmt.Errorf("sweep: no graphs")
+	}
+	if len(s.Protocols) == 0 {
+		return fmt.Errorf("sweep: no protocols")
+	}
+	needSizes := false
+	for _, t := range s.Graphs {
+		if strings.Contains(t, "N") {
+			needSizes = true
+			break
+		}
+	}
+	if needSizes && len(s.Sizes) == 0 {
+		return fmt.Errorf("sweep: graph templates use N but no sizes given")
+	}
+	for _, n := range s.Sizes {
+		if n < 2 {
+			return fmt.Errorf("sweep: size %d too small", n)
+		}
+	}
+	for _, q := range s.DropRates {
+		if q < 0 || q >= 1 {
+			return fmt.Errorf("sweep: drop rate %v outside [0, 1)", q)
+		}
+	}
+	if s.MaxSteps < 0 {
+		return fmt.Errorf("sweep: negative max_steps")
+	}
+	return nil
+}
+
+// GraphSpecs expands the graph templates against the size ladder,
+// template-major: each template with an N yields one spec per size,
+// templates without an N yield themselves once.
+func (s Spec) GraphSpecs() []string {
+	var out []string
+	for _, t := range s.Graphs {
+		if !strings.Contains(t, "N") {
+			out = append(out, t)
+			continue
+		}
+		for _, n := range s.Sizes {
+			out = append(out, strings.ReplaceAll(t, "N", strconv.Itoa(n)))
+		}
+	}
+	return out
+}
+
+// dropRates returns the drop-rate axis, defaulting to {0}.
+func (s Spec) dropRates() []float64 {
+	if len(s.DropRates) == 0 {
+		return []float64{0}
+	}
+	return s.DropRates
+}
+
+// Task is one grid cell: a fixed graph, protocol and drop rate with its
+// per-trial jobs (seeds already derived).
+type Task struct {
+	// GraphSpec is the expanded ParseGraph spec the graph was built from.
+	GraphSpec string
+	Graph     graph.Graph
+	// ProtoSpec is the ParseProtocol spec; Protocol is the instance's
+	// display name.
+	ProtoSpec string
+	Protocol  string
+	DropRate  float64
+	Jobs      []runner.Job
+}
+
+// mix derives the i-th child seed from base via a splitmix64 finalizer,
+// keeping grid-cell streams disjoint from the golden-ratio trial streams
+// layered on top by runner.SeedFor.
+func mix(base uint64, i int) uint64 {
+	x := base + 0x9e3779b97f4a7c15*uint64(i+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Build materializes the grid: graphs are constructed once per expanded
+// spec (random families draw from a seed derived from the graph's grid
+// position, so every protocol and drop rate sees the same instance), and
+// each cell gets Trials jobs with deterministic seeds.
+func (s Spec) Build() ([]Task, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	specs := s.GraphSpecs()
+	graphs := make([]graph.Graph, len(specs))
+	for gi, spec := range specs {
+		g, err := popgraph.ParseGraph(spec, xrand.New(mix(s.Seed, gi)))
+		if err != nil {
+			return nil, err
+		}
+		graphs[gi] = g
+	}
+	var tasks []Task
+	cell := 0
+	for gi, g := range graphs {
+		for _, proto := range s.Protocols {
+			factory, err := popgraph.ProtocolFactory(proto, g,
+				xrand.New(mix(s.Seed^0x5ca1ab1e, gi)))
+			if err != nil {
+				return nil, err
+			}
+			name := factory().Name()
+			for _, q := range s.dropRates() {
+				opts := sim.Options{MaxSteps: s.MaxSteps, DropRate: q}
+				tasks = append(tasks, Task{
+					GraphSpec: specs[gi],
+					Graph:     g,
+					ProtoSpec: proto,
+					Protocol:  name,
+					DropRate:  q,
+					Jobs:      runner.TrialJobs(g, factory, mix(s.Seed, cell+len(specs)), s.Trials, opts),
+				})
+				cell++
+			}
+		}
+	}
+	return tasks, nil
+}
+
+// Trials returns the total number of trials across all tasks.
+func Trials(tasks []Task) int {
+	total := 0
+	for _, t := range tasks {
+		total += len(t.Jobs)
+	}
+	return total
+}
+
+// Execute runs every task's trials through one shared pool (so the whole
+// grid saturates the workers, not one cell at a time) and returns one
+// record per trial in grid order — deterministic for any worker count.
+func Execute(tasks []Task, pool runner.Pool) []results.Record {
+	var jobs []runner.Job
+	for _, t := range tasks {
+		jobs = append(jobs, t.Jobs...)
+	}
+	outs := pool.Run(jobs)
+	recs := make([]results.Record, 0, len(jobs))
+	i := 0
+	for _, t := range tasks {
+		for trial := range t.Jobs {
+			o := outs[i]
+			recs = append(recs, results.Record{
+				Graph:      t.Graph.Name(),
+				N:          t.Graph.N(),
+				M:          t.Graph.M(),
+				Protocol:   t.Protocol,
+				Trial:      trial,
+				Seed:       t.Jobs[trial].Seed,
+				DropRate:   t.DropRate,
+				Steps:      o.Result.Steps,
+				Stabilized: o.Result.Stabilized,
+				Leader:     o.Result.Leader,
+				Backup:     o.Backup,
+			})
+			i++
+		}
+	}
+	return recs
+}

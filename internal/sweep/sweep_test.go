@@ -1,0 +1,190 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"popgraph/internal/results"
+	"popgraph/internal/runner"
+)
+
+func smokeSpec() Spec {
+	return Spec{
+		Name:      "smoke",
+		Seed:      42,
+		Trials:    3,
+		Graphs:    []string{"clique:N", "cycle:N", "star:12"},
+		Sizes:     []int{8, 16},
+		Protocols: []string{"six-state"},
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	spec, err := ParseJSON([]byte(`{
+		"name": "demo", "seed": 7, "trials": 2,
+		"graphs": ["clique:N", "torus:NxN"], "sizes": [8],
+		"protocols": ["six-state", "fast"], "drop_rates": [0, 0.5],
+		"max_steps": 100000
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "demo" || spec.Seed != 7 || spec.Trials != 2 ||
+		len(spec.Graphs) != 2 || len(spec.Protocols) != 2 ||
+		len(spec.DropRates) != 2 || spec.MaxSteps != 100000 {
+		t.Fatalf("parsed spec %+v", spec)
+	}
+}
+
+func TestParseJSONRejectsUnknownFields(t *testing.T) {
+	_, err := ParseJSON([]byte(`{"seed": 1, "trials": 1, "graphs": ["clique:8"], "protocols": ["six-state"], "grahps": []}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(*Spec)
+	}{
+		{"no trials", func(s *Spec) { s.Trials = 0 }},
+		{"no graphs", func(s *Spec) { s.Graphs = nil }},
+		{"no protocols", func(s *Spec) { s.Protocols = nil }},
+		{"N without sizes", func(s *Spec) { s.Sizes = nil }},
+		{"tiny size", func(s *Spec) { s.Sizes = []int{1} }},
+		{"bad drop", func(s *Spec) { s.DropRates = []float64{1} }},
+		{"negative cap", func(s *Spec) { s.MaxSteps = -1 }},
+	}
+	for _, c := range cases {
+		s := smokeSpec()
+		c.edit(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validation passed", c.name)
+		}
+	}
+	if err := smokeSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestGraphSpecsExpansion(t *testing.T) {
+	got := smokeSpec().GraphSpecs()
+	want := []string{"clique:8", "clique:16", "cycle:8", "cycle:16", "star:12"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GraphSpecs() = %v, want %v", got, want)
+	}
+	s := Spec{Graphs: []string{"torus:NxN"}, Sizes: []int{4}}
+	if got := s.GraphSpecs(); got[0] != "torus:4x4" {
+		t.Fatalf("multi-substitution got %v", got)
+	}
+}
+
+func TestBuildGrid(t *testing.T) {
+	s := smokeSpec()
+	s.DropRates = []float64{0, 0.25}
+	tasks, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 graphs × 1 protocol × 2 drop rates.
+	if len(tasks) != 10 {
+		t.Fatalf("built %d tasks, want 10", len(tasks))
+	}
+	if got := Trials(tasks); got != 30 {
+		t.Fatalf("total trials %d, want 30", got)
+	}
+	seen := make(map[uint64]bool)
+	for _, task := range tasks {
+		if len(task.Jobs) != 3 {
+			t.Fatalf("task %+v has %d jobs", task.GraphSpec, len(task.Jobs))
+		}
+		if task.Protocol == "" {
+			t.Fatal("task lacks a protocol display name")
+		}
+		for _, j := range task.Jobs {
+			if seen[j.Seed] {
+				t.Fatalf("duplicate trial seed %d", j.Seed)
+			}
+			seen[j.Seed] = true
+		}
+	}
+}
+
+func TestBuildSharesRandomGraphsAcrossProtocols(t *testing.T) {
+	s := Spec{
+		Seed:      5,
+		Trials:    1,
+		Graphs:    []string{"gnp:24:0.3"},
+		Protocols: []string{"six-state", "identifier"},
+	}
+	tasks, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 {
+		t.Fatalf("built %d tasks, want 2", len(tasks))
+	}
+	if tasks[0].Graph != tasks[1].Graph {
+		t.Fatal("protocols got different instances of the same random graph")
+	}
+}
+
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	s := smokeSpec()
+	s.Graphs = []string{"noSuchFamily:8"}
+	if _, err := s.Build(); err == nil {
+		t.Fatal("bad graph family accepted")
+	}
+	s = smokeSpec()
+	s.Protocols = []string{"no-such-protocol"}
+	if _, err := s.Build(); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+}
+
+// TestExecuteByteIdenticalAcrossWorkerCounts is the subsystem's core
+// guarantee: the JSONL log is byte-identical at one worker and at
+// NumCPU workers for the same spec and seed.
+func TestExecuteByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	s := Spec{
+		Seed:      2022,
+		Trials:    4,
+		Graphs:    []string{"clique:N", "cycle:N", "star:N"},
+		Sizes:     []int{8, 12},
+		Protocols: []string{"six-state"},
+		DropRates: []float64{0, 0.25},
+	}
+	encode := func(workers int) []byte {
+		tasks, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := Execute(tasks, runner.Pool{Workers: workers})
+		var buf bytes.Buffer
+		if err := results.Write(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := encode(1)
+	parallel := encode(runtime.NumCPU())
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("JSONL output differs between -workers=1 and -workers=NumCPU")
+	}
+	if len(serial) == 0 {
+		t.Fatal("no output produced")
+	}
+	recs, err := results.Read(bytes.NewReader(serial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3*2*2*4 {
+		t.Fatalf("decoded %d records, want 48", len(recs))
+	}
+	if got := len(results.Aggregate(recs)); got != 12 {
+		t.Fatalf("aggregated into %d groups, want 12", got)
+	}
+}

@@ -26,8 +26,14 @@
 //     random-walk hitting and meeting times (Section 4), streak clocks
 //     (Section 5.1), isolating covers (Section 6) and influencer-set
 //     tooling (Sections 6.3, 7);
+//   - a batch-run subsystem (internal/runner, internal/results,
+//     internal/sweep) that fans independent Monte Carlo trials across all
+//     cores with deterministic per-trial seeds — parallel and serial
+//     execution produce byte-identical JSON Lines result logs — driven
+//     declaratively by cmd/sweep (grids of graphs × sizes × protocols ×
+//     drop rates) and interactively by cmd/popsim;
 //   - an experiment harness regenerating every row of the paper's Table 1
-//     (see EXPERIMENTS.md and cmd/experiments).
+//     (see EXPERIMENTS.md, DESIGN.md and cmd/experiments).
 //
 // # Quickstart
 //
@@ -36,7 +42,12 @@
 //	res := popgraph.Run(g, popgraph.NewSixState(), r, popgraph.Options{})
 //	fmt.Printf("leader %d elected after %d interactions\n", res.Leader, res.Steps)
 //
-// See examples/ for complete programs.
+// Batches of independent trials should go through the trial runner
+// rather than a hand-rolled loop: build per-trial seeds with
+// runner.TrialJobs (or derive them via runner.SeedFor) and execute with
+// a runner.Pool, which parallelizes across cores without changing any
+// result. See README.md for cmd/sweep usage and the result schema, and
+// examples/ for complete programs.
 package popgraph
 
 import (

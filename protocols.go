@@ -105,17 +105,31 @@ func RunMajority(g Graph, inputs []bool, r *Rand, maxSteps int64) MajorityResult
 //
 // "fast" estimates B(G) for g using r and applies tuned parameters.
 func ParseProtocol(spec string, g Graph, r *Rand) (Protocol, error) {
+	factory, err := ProtocolFactory(spec, g, r)
+	if err != nil {
+		return nil, err
+	}
+	return factory(), nil
+}
+
+// ProtocolFactory resolves a CLI protocol spec (see ParseProtocol) to a
+// factory producing fresh instances, as required by the parallel trial
+// runner: concurrently running trials must not share protocol state.
+// Graph-dependent tuning ("fast" estimates B(G) using r) happens once,
+// here, not per instance.
+func ProtocolFactory(spec string, g Graph, r *Rand) (func() Protocol, error) {
 	switch spec {
 	case "six-state", "sixstate", "six":
-		return NewSixState(), nil
+		return func() Protocol { return NewSixState() }, nil
 	case "identifier", "id":
-		return NewIdentifier(), nil
+		return func() Protocol { return NewIdentifier() }, nil
 	case "identifier-regular", "id-regular":
-		return NewIdentifierRegular(), nil
+		return func() Protocol { return NewIdentifierRegular() }, nil
 	case "fast":
-		return NewFastFor(g, r), nil
+		params := FastTunedParams(g, EstimateBroadcastTime(g, r))
+		return func() Protocol { return NewFast(params) }, nil
 	case "star":
-		return NewStarProtocol(), nil
+		return func() Protocol { return NewStarProtocol() }, nil
 	default:
 		return nil, errBadProtocol(spec)
 	}
