@@ -106,6 +106,38 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngine compares the full engine per interaction — scheduler
+// sampling + protocol step + stability check — between the
+// type-specialized block-sampling loops and the generic EdgeSampler loop
+// (forced via Options.Sampler) on each concrete graph representation.
+// ns/op is ns per interaction. Runs that stabilize before b.N steps are
+// restarted, so every op is a real interaction.
+func BenchmarkEngine(b *testing.B) {
+	cases := []struct {
+		name string
+		g    popgraph.Graph
+	}{
+		{"clique-1024", popgraph.Clique(1024)},
+		{"torus-32x32", popgraph.Torus(32, 32)},
+		{"lollipop-64-64", popgraph.Lollipop(64, 64)},
+	}
+	for _, c := range cases {
+		for _, engine := range []string{"specialized", "generic"} {
+			b.Run(c.name+"/"+engine, func(b *testing.B) {
+				opts := popgraph.Options{}
+				if engine == "generic" {
+					opts.Sampler = c.g
+				}
+				r := popgraph.NewRand(1)
+				for done := int64(0); done < int64(b.N); {
+					opts.MaxSteps = int64(b.N) - done
+					done += popgraph.Run(c.g, popgraph.NewSixState(), r, opts).Steps
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBroadcastMeasurement covers the E6 primitive: one epidemic on
 // a torus per op.
 func BenchmarkBroadcastMeasurement(b *testing.B) {

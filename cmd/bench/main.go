@@ -1,0 +1,84 @@
+// Command bench times the simulation engine on a fixed graph × protocol
+// grid and writes the machine-readable BENCH_sim.json tracked at the
+// repo root, so scheduler-engine throughput is measured the same way
+// PR-over-PR.
+//
+// Every cell is timed on both engines — the type-specialized
+// block-sampling hot loops and the generic EdgeSampler reference loop —
+// over the identical interaction sequence, and the report records
+// ns/step, steps/sec and the specialized-over-generic speedup per cell.
+//
+// Usage:
+//
+//	bench                  # full grid, writes BENCH_sim.json
+//	bench -quick           # smoke-sized grid (CI)
+//	bench -out "" -q       # measure only, write nothing, table to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"popgraph/internal/bench"
+	"popgraph/internal/table"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_sim.json", "JSON report path (empty = skip)")
+		seed  = flag.Uint64("seed", 2022, "base random seed for the timed trials")
+		quick = flag.Bool("quick", false, "shrink the grid for a smoke run")
+		quiet = flag.Bool("q", false, "suppress per-cell progress output")
+	)
+	flag.Parse()
+	if err := run(*out, *seed, *quick, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed uint64, quick, quiet bool) error {
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if quiet {
+		logf = nil
+	}
+	rep, err := bench.Run(bench.DefaultGrid(quick), seed, logf)
+	if err != nil {
+		return err
+	}
+
+	t := table.New(fmt.Sprintf("engine throughput (%s, %s/%s, seed %d)",
+		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.Seed),
+		"graph", "protocol", "n", "m", "spec ns/step", "spec steps/s",
+		"gen ns/step", "gen steps/s", "speedup")
+	for _, m := range rep.Results {
+		t.AddRow(m.Graph, m.Protocol, m.N, m.M,
+			m.Specialized.NsPerStep, m.Specialized.StepsPerSec,
+			m.Generic.NsPerStep, m.Generic.StepsPerSec,
+			fmt.Sprintf("%.2fx", m.Speedup))
+	}
+	t.WriteText(os.Stdout)
+	fmt.Printf("max speedup: %.2fx\n", rep.MaxSpeedup)
+
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", out)
+	}
+	return nil
+}

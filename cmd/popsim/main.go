@@ -29,7 +29,7 @@ func main() {
 		protoSpec = flag.String("protocol", "six-state", "protocol: six-state|identifier|identifier-regular|fast|star")
 		seed      = flag.Uint64("seed", 1, "base random seed")
 		trialsN   = flag.Int("trials", 5, "number of independent runs")
-		maxSteps  = flag.Int64("max-steps", 0, "step cap per run (0 = automatic)")
+		maxSteps  = flag.Int64("max-steps", 0, "step cap per run (0 = automatic 72·n⁴·log₂n, sized for the slowest protocol/graph pair — set explicitly for large n if runs may not stabilize)")
 		dropRate  = flag.Float64("drop", 0, "interaction drop rate in [0,1)")
 		workers   = flag.Int("workers", 0, "parallel runs (0 = all cores)")
 		verbose   = flag.Bool("v", false, "print every run")
@@ -63,8 +63,13 @@ func run(graphSpec, protoSpec string, seed uint64, trials int, maxSteps int64,
 	outcomes := runner.Pool{Workers: workers}.Run(jobs)
 
 	steps := make([]float64, 0, trials)
-	failed := 0
+	failed, crashed := 0, 0
 	for i, o := range outcomes {
+		if o.Failed() {
+			crashed++
+			fmt.Fprintf(os.Stderr, "popsim: run %d crashed: %s\n", i, o.Err)
+			continue
+		}
 		if verbose {
 			fmt.Printf("  run %2d: steps=%-12d stabilized=%-5v leader=%d\n",
 				i, o.Result.Steps, o.Result.Stabilized, o.Result.Leader)
@@ -76,6 +81,9 @@ func run(graphSpec, protoSpec string, seed uint64, trials int, maxSteps int64,
 		steps = append(steps, float64(o.Result.Steps))
 	}
 	if len(steps) == 0 {
+		if crashed > 0 {
+			return fmt.Errorf("all %d runs failed (%d crashed)", trials, crashed)
+		}
 		return fmt.Errorf("no run stabilized within the step cap")
 	}
 	s := stats.Summarize(steps)
@@ -85,6 +93,9 @@ func run(graphSpec, protoSpec string, seed uint64, trials int, maxSteps int64,
 		s.Mean, s.CI95(), s.Median, s.Min, s.Max, s.N)
 	if failed > 0 {
 		fmt.Printf("  (cap hit in %d runs)", failed)
+	}
+	if crashed > 0 {
+		fmt.Printf("  (%d runs crashed)", crashed)
 	}
 	fmt.Println()
 	return nil

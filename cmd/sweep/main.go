@@ -38,7 +38,7 @@ func main() {
 		drops     = flag.String("drop", "", "comma-separated drop rates in [0,1)")
 		trialsN   = flag.Int("trials", 0, "trials per grid cell")
 		seed      = flag.Uint64("seed", 1, "base random seed (overrides the spec file's)")
-		maxSteps  = flag.Int64("max-steps", -1, "step cap per trial (0 = automatic)")
+		maxSteps  = flag.Int64("max-steps", -1, "step cap per trial (0 = automatic 72·n⁴·log₂n — set explicitly for large n if trials may not stabilize)")
 		workers   = flag.Int("workers", 0, "parallel trials (0 = all cores)")
 		out       = flag.String("out", "sweep.jsonl", "JSON Lines output path (empty = skip)")
 		markdown  = flag.Bool("markdown", false, "render the summary table as Markdown")
@@ -123,6 +123,23 @@ func run(specFile, graphs, sizes, protocols, drops string, trials int,
 		}
 	}
 	recs := sweep.Execute(tasks, pool)
+	// Crashed trials (e.g. a protocol rejecting its graph at Reset) are
+	// recorded, not fatal; surface them so a silent grid cell of failures
+	// is visible even with -q.
+	crashed := 0
+	for i := range recs {
+		if recs[i].Failed() {
+			if crashed == 0 {
+				fmt.Fprintf(os.Stderr, "sweep: trial crashed: %s × %s trial %d: %s\n",
+					recs[i].Graph, recs[i].Protocol, recs[i].Trial, recs[i].Error)
+			}
+			crashed++
+		}
+	}
+	if crashed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d trials crashed (error field in the results log)\n",
+			crashed, len(recs))
+	}
 
 	if out != "" {
 		f, err := os.Create(out)

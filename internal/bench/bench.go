@@ -1,0 +1,219 @@
+// Package bench measures scheduler-engine throughput on a fixed
+// graph × protocol grid and serializes the results as the repo-root
+// BENCH_sim.json, so the simulator's performance trajectory is tracked
+// PR-over-PR.
+//
+// Each grid cell is timed twice through the batch runner
+// (internal/runner, one worker, so wall-clock is per-trial time): once
+// on the type-specialized block-sampling engine and once on the generic
+// EdgeSampler loop, which an explicit Options.Sampler forces. Both
+// engines consume the identical random stream (see internal/sim), so the
+// comparison times the same interaction sequence and the ratio is a pure
+// engine speedup.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"popgraph"
+	"popgraph/internal/runner"
+	"popgraph/internal/sim"
+)
+
+// Schema identifies the BENCH_sim.json layout; bump on breaking changes.
+const Schema = "popgraph-bench/v1"
+
+// Config is one grid cell: a graph and protocol spec with the trial
+// shape. Steps caps every trial, so cells are timed over comparable
+// work whether or not the protocol stabilizes first.
+type Config struct {
+	GraphSpec string `json:"graph_spec"`
+	Protocol  string `json:"protocol"`
+	Steps     int64  `json:"steps"`
+	Trials    int    `json:"trials"`
+}
+
+// EngineStats is the timing of one engine on one cell.
+type EngineStats struct {
+	// Steps is the total number of interactions timed across all trials.
+	Steps int64 `json:"steps"`
+	// NsPerStep and StepsPerSec are the headline throughput numbers.
+	NsPerStep   float64 `json:"ns_per_step"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+}
+
+// Measurement is the result of one grid cell.
+type Measurement struct {
+	Graph     string `json:"graph"`
+	GraphSpec string `json:"graph_spec"`
+	Protocol  string `json:"protocol"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	Trials    int    `json:"trials"`
+	// Specialized is the default engine (type-specialized hot loops);
+	// Generic is the interface-dispatch reference loop.
+	Specialized EngineStats `json:"specialized"`
+	Generic     EngineStats `json:"generic"`
+	// Speedup is generic ns/step divided by specialized ns/step.
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the machine-readable benchmark output.
+type Report struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Seed      uint64 `json:"seed"`
+	// MaxSpeedup is the best specialized-over-generic ratio in the grid,
+	// the single number the perf trajectory tracks.
+	MaxSpeedup float64       `json:"max_speedup"`
+	Results    []Measurement `json:"results"`
+}
+
+// DefaultGrid returns the standard grid: the six-state baseline on every
+// concrete representation (implicit clique, CSR torus/lollipop/cycle)
+// plus one identifier and one fast cell. quick shrinks the work for
+// smoke tests.
+func DefaultGrid(quick bool) []Config {
+	steps, trials := int64(1<<21), 3
+	if quick {
+		steps, trials = 1<<14, 1
+	}
+	return []Config{
+		{GraphSpec: "clique:1024", Protocol: "six-state", Steps: steps, Trials: trials},
+		{GraphSpec: "torus:32x32", Protocol: "six-state", Steps: steps, Trials: trials},
+		{GraphSpec: "lollipop:64:64", Protocol: "six-state", Steps: steps, Trials: trials},
+		{GraphSpec: "cycle:1024", Protocol: "six-state", Steps: steps, Trials: trials},
+		{GraphSpec: "torus:32x32", Protocol: "identifier", Steps: steps, Trials: trials},
+		{GraphSpec: "clique:1024", Protocol: "fast", Steps: steps, Trials: trials},
+	}
+}
+
+// Run times every config and assembles the report. logf, if non-nil,
+// receives one progress line per cell.
+func Run(cfgs []Config, seed uint64, logf func(format string, args ...interface{})) (Report, error) {
+	rep := Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Seed:      seed,
+	}
+	for i, cfg := range cfgs {
+		m, err := measure(cfg, seed)
+		if err != nil {
+			return Report{}, fmt.Errorf("bench: config %d (%s × %s): %w",
+				i, cfg.GraphSpec, cfg.Protocol, err)
+		}
+		if m.Speedup > rep.MaxSpeedup {
+			rep.MaxSpeedup = m.Speedup
+		}
+		rep.Results = append(rep.Results, m)
+		if logf != nil {
+			logf("bench: %-16s × %-10s  specialized %6.2f ns/step  generic %6.2f ns/step  speedup %.2fx",
+				m.Graph, m.Protocol, m.Specialized.NsPerStep, m.Generic.NsPerStep, m.Speedup)
+		}
+	}
+	return rep, nil
+}
+
+// measure times one cell on both engines.
+func measure(cfg Config, seed uint64) (Measurement, error) {
+	if cfg.Steps < 1 || cfg.Trials < 1 {
+		return Measurement{}, fmt.Errorf("steps and trials must be >= 1 (got %d, %d)",
+			cfg.Steps, cfg.Trials)
+	}
+	r := popgraph.NewRand(seed)
+	g, err := popgraph.ParseGraph(cfg.GraphSpec, r)
+	if err != nil {
+		return Measurement{}, err
+	}
+	factory, err := popgraph.ProtocolFactory(cfg.Protocol, g, r)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m := Measurement{
+		Graph:     g.Name(),
+		GraphSpec: cfg.GraphSpec,
+		Protocol:  factory().Name(),
+		N:         g.N(),
+		M:         g.M(),
+		Trials:    cfg.Trials,
+	}
+	spec, err := timeEngine(g, factory, seed, cfg, sim.Options{MaxSteps: cfg.Steps})
+	if err != nil {
+		return Measurement{}, err
+	}
+	gen, err := timeEngine(g, factory, seed, cfg,
+		sim.Options{MaxSteps: cfg.Steps, Sampler: g})
+	if err != nil {
+		return Measurement{}, err
+	}
+	m.Specialized, m.Generic = spec, gen
+	if spec.NsPerStep > 0 {
+		m.Speedup = gen.NsPerStep / spec.NsPerStep
+	}
+	return m, nil
+}
+
+// timeEngine runs the cell's trials serially through the batch runner
+// and returns total-steps/wall-clock throughput. A warmup trial runs
+// first, untimed, to populate caches and let the protocol's
+// graph-dependent setup settle.
+func timeEngine(g popgraph.Graph, factory func() popgraph.Protocol, seed uint64,
+	cfg Config, opts sim.Options) (EngineStats, error) {
+	warm := opts
+	warm.MaxSteps = cfg.Steps / 8
+	if warm.MaxSteps < 1 {
+		warm.MaxSteps = 1
+	}
+	pool := runner.Pool{Workers: 1}
+	pool.Run(runner.TrialJobs(g, factory, seed, 1, warm))
+
+	jobs := runner.TrialJobs(g, factory, seed, cfg.Trials, opts)
+	start := time.Now()
+	outs := pool.Run(jobs)
+	elapsed := time.Since(start)
+
+	var steps int64
+	for _, o := range outs {
+		if o.Failed() {
+			return EngineStats{}, fmt.Errorf("trial crashed: %s", o.Err)
+		}
+		steps += o.Result.Steps
+	}
+	if steps == 0 {
+		return EngineStats{}, fmt.Errorf("no interactions executed")
+	}
+	ns := float64(elapsed.Nanoseconds())
+	return EngineStats{
+		Steps:       steps,
+		NsPerStep:   ns / float64(steps),
+		StepsPerSec: float64(steps) / elapsed.Seconds(),
+	}, nil
+}
+
+// WriteJSON serializes the report with stable field order and trailing
+// newline, suitable for committing at the repo root.
+func (rep Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadJSON parses a report previously produced by WriteJSON.
+func ReadJSON(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return Report{}, fmt.Errorf("bench: unknown schema %q (want %q)", rep.Schema, Schema)
+	}
+	return rep, nil
+}

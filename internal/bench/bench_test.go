@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickGrid(t *testing.T) {
+	cfgs := []Config{
+		{GraphSpec: "clique:64", Protocol: "six-state", Steps: 1 << 12, Trials: 1},
+		{GraphSpec: "cycle:64", Protocol: "six-state", Steps: 1 << 12, Trials: 1},
+	}
+	var lines []string
+	rep, err := Run(cfgs, 42, func(format string, args ...interface{}) {
+		lines = append(lines, format)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema || rep.GoVersion == "" || rep.Seed != 42 {
+		t.Fatalf("report header %+v", rep)
+	}
+	if len(rep.Results) != 2 || len(lines) != 2 {
+		t.Fatalf("got %d results, %d log lines", len(rep.Results), len(lines))
+	}
+	for _, m := range rep.Results {
+		if m.N != 64 || m.Protocol == "" {
+			t.Fatalf("measurement %+v", m)
+		}
+		for _, e := range []EngineStats{m.Specialized, m.Generic} {
+			if e.Steps <= 0 || e.NsPerStep <= 0 || e.StepsPerSec <= 0 {
+				t.Fatalf("degenerate engine stats %+v", e)
+			}
+		}
+		// Both engines execute the identical interaction sequence.
+		if m.Specialized.Steps != m.Generic.Steps {
+			t.Fatalf("engines timed different work: %d vs %d steps",
+				m.Specialized.Steps, m.Generic.Steps)
+		}
+		if m.Speedup <= 0 {
+			t.Fatalf("speedup %v", m.Speedup)
+		}
+	}
+	if rep.MaxSpeedup < rep.Results[0].Speedup && rep.MaxSpeedup < rep.Results[1].Speedup {
+		t.Fatalf("max speedup %v below cells %v, %v",
+			rep.MaxSpeedup, rep.Results[0].Speedup, rep.Results[1].Speedup)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{GraphSpec: "clique:0", Protocol: "six-state", Steps: 100, Trials: 1},
+		{GraphSpec: "clique:16", Protocol: "bogus", Steps: 100, Trials: 1},
+		{GraphSpec: "clique:16", Protocol: "six-state", Steps: 0, Trials: 1},
+		{GraphSpec: "clique:16", Protocol: "six-state", Steps: 100, Trials: 0},
+	} {
+		if _, err := Run([]Config{cfg}, 1, nil); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := Run([]Config{
+		{GraphSpec: "clique:32", Protocol: "six-state", Steps: 1 << 10, Trials: 1},
+	}, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"schema": "popgraph-bench/v1"`, `"steps_per_sec"`, `"ns_per_step"`,
+		`"speedup"`, `"max_speedup"`, `"clique-32"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 1 || back.Results[0].Graph != "clique-32" || back.Seed != 7 {
+		t.Fatalf("round trip %+v", back)
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	full, quick := DefaultGrid(false), DefaultGrid(true)
+	if len(full) != len(quick) || len(full) == 0 {
+		t.Fatalf("grid sizes %d, %d", len(full), len(quick))
+	}
+	sixState := 0
+	for i := range full {
+		if full[i].Steps <= quick[i].Steps {
+			t.Fatalf("quick grid not smaller: %+v vs %+v", full[i], quick[i])
+		}
+		if full[i].Protocol == "six-state" {
+			sixState++
+		}
+	}
+	if sixState < 2 {
+		t.Fatalf("default grid has %d six-state cells, want >= 2", sixState)
+	}
+}

@@ -161,7 +161,14 @@ func (g *Dense) ForEachEdge(fn func(u, w int)) {
 
 // SampleEdge returns a uniform ordered pair of adjacent nodes.
 func (g *Dense) SampleEdge(r *xrand.Rand) (int, int) {
-	t := r.Uintn(uint64(2 * len(g.edges)))
+	return g.OrderedPair(r.Uintn(uint64(2 * len(g.edges))))
+}
+
+// OrderedPair maps t, uniform in [0, 2·M()), to the ordered adjacent pair
+// SampleEdge would return for that draw: undirected edge t>>1, reversed
+// when t is odd. The simulator's specialized hot loop reduces its own
+// randomness and calls this directly, bypassing the EdgeSampler interface.
+func (g *Dense) OrderedPair(t uint64) (int, int) {
 	e := g.edges[t>>1]
 	u, w := int(e>>32), int(e&0xffffffff)
 	if t&1 == 1 {
@@ -169,6 +176,12 @@ func (g *Dense) SampleEdge(r *xrand.Rand) (int, int) {
 	}
 	return u, w
 }
+
+// PackedEdges returns the graph's edge list as packed uint64 values
+// u<<32|w with u < w, sorted ascending — the raw array OrderedPair
+// indexes. Callers must treat it as read-only; the simulator hot loop
+// uses it to unpack pairs branch-free without a method call per step.
+func (g *Dense) PackedEdges() []int64 { return g.edges }
 
 // Name returns the graph's description.
 func (g *Dense) Name() string { return g.name }

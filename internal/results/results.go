@@ -42,7 +42,13 @@ type Record struct {
 	Leader     int   `json:"leader"`
 	// Backup is the number of nodes that entered a backup phase.
 	Backup int `json:"backup,omitempty"`
+	// Error is the panic message when the trial crashed instead of
+	// completing (runner.Outcome.Err); empty for healthy trials.
+	Error string `json:"error,omitempty"`
 }
+
+// Failed reports whether the trial crashed instead of completing.
+func (r Record) Failed() bool { return r.Error != "" }
 
 // Key identifies a record's configuration: one cell of a sweep grid.
 type Key struct {
@@ -99,12 +105,14 @@ type Group struct {
 	Key
 	N, M int
 	// Trials is the total trial count; Stabilized of them reached a
-	// stable configuration before the step cap.
-	Trials, Stabilized int
+	// stable configuration before the step cap; Failed of them crashed
+	// (Record.Error set) instead of completing.
+	Trials, Stabilized, Failed int
 	// Steps summarizes the stabilization times of the stabilized trials
 	// (zero value when none stabilized).
 	Steps stats.Summary
-	// BackupMean is the mean number of backup-phase nodes per trial.
+	// BackupMean is the mean number of backup-phase nodes per completed
+	// (non-crashed) trial; 0 when every trial crashed.
 	BackupMean float64
 }
 
@@ -126,7 +134,9 @@ func Aggregate(recs []Record) []Group {
 		g := groups[k]
 		g.Trials++
 		backup[k] += float64(rec.Backup)
-		if rec.Stabilized {
+		if rec.Failed() {
+			g.Failed++
+		} else if rec.Stabilized {
 			g.Stabilized++
 			steps[k] = append(steps[k], float64(rec.Steps))
 		}
@@ -137,22 +147,38 @@ func Aggregate(recs []Record) []Group {
 		if len(steps[k]) > 0 {
 			g.Steps = stats.Summarize(steps[k])
 		}
-		g.BackupMean = backup[k] / float64(g.Trials)
+		// Crashed trials report Backup = 0 vacuously; averaging over them
+		// would dilute the statistic, so divide by completed trials only.
+		if completed := g.Trials - g.Failed; completed > 0 {
+			g.BackupMean = backup[k] / float64(completed)
+		}
 		out = append(out, *g)
 	}
 	return out
 }
 
 // SummaryTable renders aggregated groups as one table row per
-// configuration.
+// configuration. Step statistics of a group in which no trial stabilized
+// are rendered as "—" (not the zero value, which read as instant
+// stabilization); crashed trials show up as an error count in the stab
+// column.
 func SummaryTable(title string, groups []Group) *table.Table {
 	t := table.New(title,
 		"graph", "n", "m", "protocol", "drop", "steps(mean)", "±95%",
 		"median", "max", "stab", "backup")
 	for _, g := range groups {
+		stab := fmt.Sprintf("%d/%d", g.Stabilized, g.Trials)
+		if g.Failed > 0 {
+			stab += fmt.Sprintf(" (%d err)", g.Failed)
+		}
+		if g.Stabilized == 0 {
+			t.AddRow(g.Graph, g.N, g.M, g.Protocol, g.DropRate,
+				"—", "—", "—", "—", stab, g.BackupMean)
+			continue
+		}
 		t.AddRow(g.Graph, g.N, g.M, g.Protocol, g.DropRate,
 			g.Steps.Mean, g.Steps.CI95(), g.Steps.Median, g.Steps.Max,
-			fmt.Sprintf("%d/%d", g.Stabilized, g.Trials), g.BackupMean)
+			stab, g.BackupMean)
 	}
 	return t
 }

@@ -107,3 +107,84 @@ func TestSummaryTable(t *testing.T) {
 		}
 	}
 }
+
+// TestSummaryTableNoStabilizedRendersDash: a configuration where every
+// trial hit the step cap used to print steps(mean)=0, which read as
+// instant stabilization; it must render "—" markers instead.
+func TestSummaryTableNoStabilizedRendersDash(t *testing.T) {
+	recs := []Record{
+		{Graph: "cycle-64", N: 64, M: 64, Protocol: "six-state", Trial: 0,
+			Seed: 1, Steps: 5000, Stabilized: false, Leader: -1},
+		{Graph: "cycle-64", N: 64, M: 64, Protocol: "six-state", Trial: 1,
+			Seed: 2, Steps: 5000, Stabilized: false, Leader: -1},
+	}
+	var buf bytes.Buffer
+	SummaryTable("capped", Aggregate(recs)).WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "—") {
+		t.Fatalf("no dash marker for unstabilized group:\n%s", out)
+	}
+	if !strings.Contains(out, "0/2") {
+		t.Fatalf("stab column wrong:\n%s", out)
+	}
+	// All four step statistics (mean, CI, median, max) must be dashes.
+	if strings.Count(out, "—") != 4 {
+		t.Fatalf("want 4 dash markers, got %d:\n%s", strings.Count(out, "—"), out)
+	}
+}
+
+// TestBackupMeanExcludesCrashedTrials: crashed trials report Backup = 0
+// vacuously and must not dilute the mean over completed trials.
+func TestBackupMeanExcludesCrashedTrials(t *testing.T) {
+	recs := []Record{
+		{Graph: "g", N: 8, M: 12, Protocol: "p", Trial: 0, Seed: 1,
+			Steps: 100, Stabilized: true, Leader: 0, Backup: 10},
+		{Graph: "g", N: 8, M: 12, Protocol: "p", Trial: 1, Seed: 2,
+			Steps: 120, Stabilized: true, Leader: 1, Backup: 10},
+		{Graph: "g", N: 8, M: 12, Protocol: "p", Trial: 2, Seed: 3,
+			Steps: 0, Stabilized: false, Leader: -1, Error: "boom"},
+		{Graph: "g", N: 8, M: 12, Protocol: "p", Trial: 3, Seed: 4,
+			Steps: 0, Stabilized: false, Leader: -1, Error: "boom"},
+	}
+	groups := Aggregate(recs)
+	if len(groups) != 1 || groups[0].BackupMean != 10 {
+		t.Fatalf("BackupMean = %v, want 10 (crashed trials excluded)", groups[0].BackupMean)
+	}
+}
+
+// TestAggregateAndTableSurfaceCrashedTrials: records with Error set count
+// as Failed, never as stabilized, and the table flags them.
+func TestAggregateAndTableSurfaceCrashedTrials(t *testing.T) {
+	recs := []Record{
+		{Graph: "clique-8", N: 8, M: 28, Protocol: "star-trivial", Trial: 0,
+			Seed: 1, Steps: 0, Stabilized: false, Leader: -1,
+			Error: `star: graph "clique-8" is not a star (degree(0)=7)`},
+		{Graph: "clique-8", N: 8, M: 28, Protocol: "star-trivial", Trial: 1,
+			Seed: 2, Steps: 0, Stabilized: false, Leader: -1,
+			Error: `star: graph "clique-8" is not a star (degree(0)=7)`},
+	}
+	groups := Aggregate(recs)
+	if len(groups) != 1 || groups[0].Failed != 2 || groups[0].Stabilized != 0 {
+		t.Fatalf("groups %+v", groups)
+	}
+	if groups[0].BackupMean != 0 {
+		t.Fatalf("all-crashed group BackupMean = %v, want 0", groups[0].BackupMean)
+	}
+	var buf bytes.Buffer
+	SummaryTable("crashes", groups).WriteText(&buf)
+	if !strings.Contains(buf.String(), "(2 err)") {
+		t.Fatalf("crash count missing from table:\n%s", buf.String())
+	}
+	// The error field must survive a JSONL round trip.
+	var jsonl bytes.Buffer
+	if err := Write(&jsonl, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || !back[0].Failed() || back[0].Error != recs[0].Error {
+		t.Fatalf("round-tripped records %+v", back)
+	}
+}

@@ -3,13 +3,15 @@
 // deterministic. Every trial carries its own explicit seed, derived from
 // a base seed and the trial index, and outcomes are returned in job
 // order, so a batch produces byte-identical results at one worker and at
-// runtime.NumCPU() workers.
+// runtime.NumCPU() workers. Trials are crash-isolated: a panicking trial
+// is recorded as a failed Outcome instead of taking down the process.
 //
 // The experiment harness (internal/exp), cmd/popsim and cmd/sweep all
 // execute their trials through this package.
 package runner
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -48,7 +50,16 @@ type Outcome struct {
 	// Backup is the number of nodes that entered the protocol's backup
 	// phase (0 for protocols without one).
 	Backup int
+	// Err is the panic message when the trial crashed (e.g. a protocol
+	// rejecting its graph at Reset inside a sweep grid); empty on
+	// success. A crashed trial has Result.Stabilized = false and
+	// Leader = -1, and never takes down the batch: the pool records the
+	// failure and keeps draining the remaining jobs.
+	Err string
 }
+
+// Failed reports whether the trial crashed instead of completing.
+func (o Outcome) Failed() bool { return o.Err != "" }
 
 // backupReporter is implemented by protocols with a backup phase.
 type backupReporter interface{ InBackup() int }
@@ -109,10 +120,18 @@ func (p Pool) Run(jobs []Job) []Outcome {
 // Run executes jobs with the default pool (one worker per CPU).
 func Run(jobs []Job) []Outcome { return Pool{}.Run(jobs) }
 
-func runOne(j Job) Outcome {
+func runOne(j Job) (o Outcome) {
+	defer func() {
+		if p := recover(); p != nil {
+			o = Outcome{
+				Result: sim.Result{Steps: 0, Stabilized: false, Leader: -1},
+				Err:    fmt.Sprint(p),
+			}
+		}
+	}()
 	p := j.New()
 	r := xrand.New(j.Seed)
-	o := Outcome{Result: sim.Run(j.Graph, p, r, j.Opts)}
+	o = Outcome{Result: sim.Run(j.Graph, p, r, j.Opts)}
 	if br, ok := p.(backupReporter); ok {
 		o.Backup = br.InBackup()
 	}

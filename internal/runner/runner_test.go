@@ -105,6 +105,37 @@ func TestProgressReportsEveryTrial(t *testing.T) {
 	}
 }
 
+// TestPanickingTrialIsIsolated: one crashing trial (star protocol on a
+// non-star graph, the sweep-grid scenario) must yield a failed Outcome
+// while every other job in the batch still completes — previously the
+// panic escaped the worker goroutine and killed the whole process.
+func TestPanickingTrialIsIsolated(t *testing.T) {
+	clique := graph.NewClique(8)
+	jobs := []Job{
+		{Graph: clique, New: factory, Seed: 1, Opts: sim.Options{}},
+		{Graph: clique, New: func() sim.Protocol { return star.New() }, Seed: 2, Opts: sim.Options{}},
+		{Graph: clique, New: factory, Seed: 3, Opts: sim.Options{}},
+	}
+	for _, workers := range []int{1, 4} {
+		out := Pool{Workers: workers}.Run(jobs)
+		if len(out) != 3 {
+			t.Fatalf("got %d outcomes", len(out))
+		}
+		bad := out[1]
+		if !bad.Failed() || bad.Err == "" {
+			t.Fatalf("crashed trial outcome %+v, want Failed", bad)
+		}
+		if bad.Result.Stabilized || bad.Result.Leader != -1 || bad.Result.Steps != 0 {
+			t.Fatalf("crashed trial result %+v", bad.Result)
+		}
+		for _, i := range []int{0, 2} {
+			if out[i].Failed() || !out[i].Result.Stabilized {
+				t.Fatalf("healthy trial %d outcome %+v", i, out[i])
+			}
+		}
+	}
+}
+
 func TestTrialJobsFloorsAtOne(t *testing.T) {
 	g := graph.NewClique(4)
 	if got := len(TrialJobs(g, factory, 1, 0, sim.Options{})); got != 1 {

@@ -1,0 +1,157 @@
+// Type-specialized scheduler hot loops. The generic loop in sim.go pays
+// an EdgeSampler interface dispatch and a per-step generator call; the
+// engines here are monomorphized for the two concrete graph
+// representations (*graph.Dense and graph.Clique), draw scheduler
+// randomness in fixed-size blocks through xrand.Fill, and keep the whole
+// sampling state — block buffer, cursor, Lemire rejection threshold — in
+// locals so the per-step cost is a buffer load, one 128-bit multiply and
+// a predictable branch.
+//
+// Determinism contract: a specialized loop consumes exactly the same
+// uint64 stream, in the same order, as the generic loop would for the
+// same seed, and on exit rewinds the generator past only the draws it
+// consumed (undoing block prefetch). Every seed therefore reproduces
+// byte-identical Results and leaves the generator in a byte-identical
+// state regardless of which loop ran; engine_test.go asserts both.
+package sim
+
+import (
+	"math/bits"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/xrand"
+)
+
+// rngBlockSize is the number of uint64 values prefetched per refill. Big
+// enough to amortize the Fill call and keep the generator state in
+// registers for the whole block, small enough that the end-of-run rewind
+// (at most one block re-skipped) stays negligible.
+const rngBlockSize = 512
+
+// The Lemire reduction below mirrors xrand.Uintn draw for draw. Uintn
+// guards the threshold computation behind the rare lo < n test; since
+// thresh = 2⁶⁴ mod n < n, looping directly on lo < thresh rejects exactly
+// the same draws, and precomputing thresh hoists the 64-bit division out
+// of the hot loop entirely.
+
+// runDense is the specialized loop for CSR graphs: one block-buffered
+// Lemire reduction over the 2m ordered pairs per step, pair unpacking
+// straight from the raw packed edge array — no interface calls on the
+// sampling path, and the direction swap is branch-free (a taken/not-taken
+// branch on the draw's parity would mispredict half the time).
+func runDense(g *graph.Dense, p Protocol, r *xrand.Rand, maxSteps int64) Result {
+	var (
+		buf    [rngBlockSize]uint64
+		k      = rngBlockSize
+		saved  xrand.State
+		filled bool
+	)
+	edges := g.PackedEdges()
+	twoM := uint64(2 * g.M())
+	thresh := -twoM % twoM
+	res := Result{Steps: maxSteps, Stabilized: false, Leader: -1}
+	for t := int64(1); t <= maxSteps; t++ {
+		if k == rngBlockSize {
+			saved = r.Save()
+			r.Fill(buf[:])
+			k = 0
+			filled = true
+		}
+		hi, lo := bits.Mul64(buf[k], twoM)
+		k++
+		for lo < thresh {
+			if k == rngBlockSize {
+				saved = r.Save()
+				r.Fill(buf[:])
+				k = 0
+			}
+			hi, lo = bits.Mul64(buf[k], twoM)
+			k++
+		}
+		// Unpack edge hi>>1 as (initiator, responder), reversing the pair
+		// when hi is odd via an XOR mask instead of a branch.
+		e := uint64(edges[hi>>1])
+		eu, ew := e>>32, e&0xffffffff
+		swap := (eu ^ ew) & -(hi & 1)
+		p.Step(int(eu^swap), int(ew^swap))
+		if p.Stable() {
+			res = Result{Steps: t, Stabilized: true, Leader: FindLeader(g, p)}
+			break
+		}
+	}
+	if filled {
+		// Rewind: reposition r as if the consumed values had been drawn
+		// one at a time — restore the pre-block state, skip the consumed
+		// prefix.
+		r.Restore(saved)
+		r.Skip(k)
+	}
+	return res
+}
+
+// runClique is the specialized loop for the implicit complete graph,
+// mirroring graph.Clique.SampleEdge's two-draw construction of a uniform
+// ordered pair of distinct nodes.
+func runClique(g graph.Clique, p Protocol, r *xrand.Rand, maxSteps int64) Result {
+	var (
+		buf    [rngBlockSize]uint64
+		k      = rngBlockSize
+		saved  xrand.State
+		filled bool
+	)
+	n := uint64(g.N())
+	n1 := n - 1
+	threshN := -n % n
+	threshN1 := -n1 % n1
+	res := Result{Steps: maxSteps, Stabilized: false, Leader: -1}
+	for t := int64(1); t <= maxSteps; t++ {
+		if k == rngBlockSize {
+			saved = r.Save()
+			r.Fill(buf[:])
+			k = 0
+			filled = true
+		}
+		hi, lo := bits.Mul64(buf[k], n)
+		k++
+		for lo < threshN {
+			if k == rngBlockSize {
+				saved = r.Save()
+				r.Fill(buf[:])
+				k = 0
+			}
+			hi, lo = bits.Mul64(buf[k], n)
+			k++
+		}
+		u := int(hi)
+		if k == rngBlockSize {
+			saved = r.Save()
+			r.Fill(buf[:])
+			k = 0
+		}
+		hi, lo = bits.Mul64(buf[k], n1)
+		k++
+		for lo < threshN1 {
+			if k == rngBlockSize {
+				saved = r.Save()
+				r.Fill(buf[:])
+				k = 0
+			}
+			hi, lo = bits.Mul64(buf[k], n1)
+			k++
+		}
+		v := int(hi)
+		if v >= u {
+			v++
+		}
+		p.Step(u, v)
+		if p.Stable() {
+			res = Result{Steps: t, Stabilized: true, Leader: FindLeader(g, p)}
+			break
+		}
+	}
+	if filled {
+		r.Restore(saved)
+		r.Skip(k)
+	}
+	return res
+}

@@ -1,0 +1,128 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/beauquier"
+	"popgraph/internal/protocols/fastelect"
+	"popgraph/internal/protocols/idelect"
+	. "popgraph/internal/sim"
+	"popgraph/internal/xrand"
+)
+
+// equivalenceCase is one graph × protocol pair checked for byte-identical
+// behaviour between the specialized and generic loops.
+type equivalenceCase struct {
+	g   graph.Graph
+	p   func() Protocol
+	tag string
+}
+
+func equivalenceCases() []equivalenceCase {
+	six := func() Protocol { return beauquier.New() }
+	id := func() Protocol { return idelect.New() }
+	graphs := []graph.Graph{
+		graph.NewClique(2),
+		graph.NewClique(33), // odd n exercises the Lemire rejection path
+		graph.Cycle(17),
+		graph.Star(9),
+		graph.Torus2D(3, 5),
+		graph.Lollipop(6, 5),
+		graph.Path(2),
+	}
+	var cases []equivalenceCase
+	for _, g := range graphs {
+		cases = append(cases,
+			equivalenceCase{g, six, g.Name() + "/six-state"},
+			equivalenceCase{g, id, g.Name() + "/identifier"},
+		)
+	}
+	// Fast protocol on one Dense graph and the clique: its Reset draws
+	// randomness, checking the Reset-then-block-sampling boundary.
+	fastFor := func(g graph.Graph) func() Protocol {
+		params := fastelect.TunedParams(g, 8*float64(g.N()))
+		return func() Protocol { return fastelect.New(params) }
+	}
+	for _, g := range []graph.Graph{graph.NewClique(16), graph.Torus2D(3, 4)} {
+		cases = append(cases, equivalenceCase{g, fastFor(g), g.Name() + "/fast"})
+	}
+	return cases
+}
+
+// TestEngineEquivalence is the determinism guarantee of the specialized
+// loops: for the same seed they must produce a byte-identical Result AND
+// leave the generator at the byte-identical stream position as the
+// generic EdgeSampler loop (which an explicit Options.Sampler forces).
+func TestEngineEquivalence(t *testing.T) {
+	// Step caps around the prefetch block size (512) exercise rewinds of
+	// a partial block, an exact block boundary, and multiple refills; 0
+	// uses the default cap so most runs end by stabilizing instead.
+	caps := []int64{100, 511, 512, 513, 2000, 0}
+	for _, c := range equivalenceCases() {
+		for _, maxSteps := range caps {
+			for seed := uint64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%s/cap%d/seed%d", c.tag, maxSteps, seed)
+				rFast := xrand.New(seed)
+				rGen := xrand.New(seed)
+				fast := Run(c.g, c.p(), rFast, Options{MaxSteps: maxSteps})
+				gen := Run(c.g, c.p(), rGen, Options{MaxSteps: maxSteps, Sampler: c.g})
+				if fast != gen {
+					t.Fatalf("%s: results diverged: specialized %+v, generic %+v", name, fast, gen)
+				}
+				for i := 0; i < 16; i++ {
+					if a, b := rFast.Uint64(), rGen.Uint64(); a != b {
+						t.Fatalf("%s: post-run RNG stream diverged at draw %d: %d != %d",
+							name, i, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineSequentialRuns reuses one generator across consecutive runs:
+// the rewind at the end of a specialized run must leave the stream
+// position exactly where the generic loop would, so later runs agree too.
+func TestEngineSequentialRuns(t *testing.T) {
+	g := graph.Torus2D(3, 4)
+	rFast := xrand.New(77)
+	rGen := xrand.New(77)
+	for round := 0; round < 4; round++ {
+		fast := Run(g, beauquier.New(), rFast, Options{MaxSteps: 300})
+		gen := Run(g, beauquier.New(), rGen, Options{MaxSteps: 300, Sampler: g})
+		if fast != gen {
+			t.Fatalf("round %d: %+v != %+v", round, fast, gen)
+		}
+	}
+}
+
+// TestEngineObserverAndDropStayGeneric: instrumented runs must not take
+// the specialized path (observers see every step; drops consume extra
+// randomness), and remain correct.
+func TestEngineObserverAndDropStayGeneric(t *testing.T) {
+	g := graph.NewClique(12)
+	obs := &countingObserver{}
+	res := Run(g, beauquier.New(), xrand.New(5), Options{Observer: obs, ObserveEvery: 1})
+	if !res.Stabilized || int64(obs.calls) != res.Steps {
+		t.Fatalf("observer saw %d of %d steps", obs.calls, res.Steps)
+	}
+	res = Run(g, beauquier.New(), xrand.New(5), Options{DropRate: 0.5})
+	if !res.Stabilized {
+		t.Fatal("drop-rate run did not stabilize")
+	}
+}
+
+func TestOrderedPairMatchesSampleEdge(t *testing.T) {
+	g := graph.Lollipop(5, 4)
+	a := xrand.New(123)
+	b := xrand.New(123)
+	for i := 0; i < 2000; i++ {
+		u1, v1 := g.SampleEdge(a)
+		u2, v2 := g.OrderedPair(b.Uintn(uint64(2 * g.M())))
+		if u1 != u2 || v1 != v2 {
+			t.Fatalf("draw %d: SampleEdge (%d,%d) != OrderedPair (%d,%d)", i, u1, v1, u2, v2)
+		}
+	}
+}

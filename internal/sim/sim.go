@@ -6,10 +6,16 @@
 // A time step, as in the paper, is one pairwise interaction: the scheduler
 // samples an ordered pair (u, v) of adjacent nodes uniformly among all 2m
 // ordered pairs, u interacting as initiator and v as responder.
+//
+// Uninstrumented runs on the concrete graph types take type-specialized
+// block-sampling hot loops (see engine.go) that are substantially faster
+// than the generic EdgeSampler loop while consuming the identical random
+// stream, so results are byte-identical either way.
 package sim
 
 import (
 	"fmt"
+	"math"
 
 	"popgraph/internal/core"
 	"popgraph/internal/graph"
@@ -92,15 +98,25 @@ type Options struct {
 
 // DefaultMaxSteps returns the default step cap: generous enough for the
 // slowest protocol/graph pair we simulate (constant-state protocol on a
-// lollipop runs in Θ(n⁴ log n)); runs hitting the cap report
-// Stabilized = false rather than spinning forever.
+// lollipop runs in Θ(n⁴ log n), via H(G) = Θ(n³) worst-case hitting
+// time); runs hitting the cap report Stabilized = false rather than
+// spinning forever. The cap is 72·n⁴·log₂n with a floor of 2²² steps for
+// tiny graphs, computed in float64 and clamped to 2⁶² so it cannot
+// overflow int64 at any n.
 func DefaultMaxSteps(n int) int64 {
-	nn := int64(n)
-	cap64 := nn * nn * nn * 72
-	if cap64 < 1<<22 {
-		cap64 = 1 << 22
+	const (
+		floor = 1 << 22
+		clamp = 1 << 62
+	)
+	nf := float64(n)
+	cap64 := 72 * nf * nf * nf * nf * math.Log2(nf)
+	if !(cap64 > floor) { // NaN-safe: n <= 1 gives NaN/−Inf, take the floor
+		return floor
 	}
-	return cap64
+	if cap64 > clamp {
+		return clamp
+	}
+	return int64(cap64)
 }
 
 // Result reports the outcome of a run.
@@ -135,6 +151,19 @@ func Run(g graph.Graph, p Protocol, r *xrand.Rand, opts Options) Result {
 	}
 	if opts.Observer != nil || opts.DropRate > 0 {
 		return runSlowPath(g, p, r, sampler, maxSteps, opts)
+	}
+	// Uninstrumented runs on the concrete graph representations take the
+	// type-specialized block-sampling loops (engine.go); they consume the
+	// identical random stream, so the Result is byte-identical to the
+	// generic loop below. An explicit opts.Sampler always forces the
+	// generic loop, which equivalence tests use as the reference.
+	if opts.Sampler == nil {
+		switch cg := g.(type) {
+		case *graph.Dense:
+			return runDense(cg, p, r, maxSteps)
+		case graph.Clique:
+			return runClique(cg, p, r, maxSteps)
+		}
 	}
 	for t := int64(1); t <= maxSteps; t++ {
 		u, v := sampler.SampleEdge(r)

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"math"
 	"testing"
 
 	"popgraph/internal/core"
@@ -170,10 +171,49 @@ func TestDropRateValidation(t *testing.T) {
 }
 
 func TestDefaultMaxSteps(t *testing.T) {
-	if DefaultMaxSteps(2) < 1<<22 {
+	if DefaultMaxSteps(2) != 1<<22 {
 		t.Fatal("floor not applied")
 	}
-	if DefaultMaxSteps(1024) != int64(1024)*1024*1024*72 {
-		t.Fatalf("got %d", DefaultMaxSteps(1024))
+	// 72·n⁴·log₂n at n = 1024 (log₂ = 10).
+	if want := int64(72) * 1024 * 1024 * 1024 * 1024 * 10; DefaultMaxSteps(1024) != want {
+		t.Fatalf("DefaultMaxSteps(1024) = %d, want %d", DefaultMaxSteps(1024), want)
+	}
+	prev := int64(0)
+	for _, n := range []int{2, 10, 100, 1000, 10000} {
+		if c := DefaultMaxSteps(n); c < prev {
+			t.Fatalf("cap not monotone at n=%d: %d < %d", n, c, prev)
+		} else {
+			prev = c
+		}
+	}
+}
+
+// TestDefaultMaxStepsCoversLollipop is the regression test for the old
+// 72·n³ cap, which contradicted the doc comment: six-state on
+// lollipop(n/2, n/2) stabilizes in Θ(H·n·log n) expected steps with
+// H ≈ (n/2)²·(n/2) = n³/8, which exceeds 72·n³ already at moderate n, so
+// runs spuriously reported Stabilized = false. The cap must dominate a
+// multiple of the expectation.
+func TestDefaultMaxStepsCoversLollipop(t *testing.T) {
+	for _, n := range []int{64, 128, 512, 4096} {
+		nf := float64(n)
+		expect := nf * nf * nf / 8 * nf * math.Log2(nf)
+		if got := float64(DefaultMaxSteps(n)); got < 4*expect {
+			t.Errorf("DefaultMaxSteps(%d) = %g below 4× lollipop expectation %g", n, got, 4*expect)
+		}
+	}
+}
+
+// TestDefaultMaxStepsOverflowGuard: 72·n⁴·log₂n overflows int64 around
+// n ≈ 50k; the cap must clamp, not wrap negative.
+func TestDefaultMaxStepsOverflowGuard(t *testing.T) {
+	for _, n := range []int{50_000, 5_000_000, math.MaxInt32} {
+		got := DefaultMaxSteps(n)
+		if got <= 0 {
+			t.Fatalf("DefaultMaxSteps(%d) = %d overflowed", n, got)
+		}
+		if got != 1<<62 {
+			t.Fatalf("DefaultMaxSteps(%d) = %d, want clamp 2^62", n, got)
+		}
 	}
 }

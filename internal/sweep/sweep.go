@@ -241,6 +241,7 @@ func Execute(tasks []Task, pool runner.Pool) []results.Record {
 				Stabilized: o.Result.Stabilized,
 				Leader:     o.Result.Leader,
 				Backup:     o.Backup,
+				Error:      o.Err,
 			})
 			i++
 		}

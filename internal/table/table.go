@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a simple column-aligned text table. The zero value is not
@@ -55,12 +56,12 @@ func formatFloat(v float64) string {
 func (t *Table) WriteText(w io.Writer) {
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if w := utf8.RuneCountInString(cell); i < len(widths) && w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -101,9 +102,12 @@ func (t *Table) WriteMarkdown(w io.Writer) {
 	}
 }
 
+// pad right-pads by display runes, not bytes, so multibyte cells (the
+// "—" marker) keep columns aligned.
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }

@@ -65,3 +65,19 @@ func TestNoTitle(t *testing.T) {
 		t.Error("empty title must not render a banner")
 	}
 }
+
+// TestMultibyteCellAlignment: cells are padded by display runes, not
+// bytes, so the 3-byte "—" marker must not shift later columns.
+func TestMultibyteCellAlignment(t *testing.T) {
+	tb := New("", "aa", "bb")
+	tb.AddRow("—", "x")
+	tb.AddRow("yy", "z")
+	var buf bytes.Buffer
+	tb.WriteText(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	col := strings.Index(lines[len(lines)-1], "z")
+	dash := lines[len(lines)-2]
+	if idx := strings.Index(dash, "x"); len([]rune(dash[:idx])) != col {
+		t.Fatalf("columns misaligned:\n%s", buf.String())
+	}
+}

@@ -10,13 +10,30 @@
 // seed reproduces an execution exactly.
 package xrand
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Rand is a xoshiro256++ pseudo-random number generator.
 // The zero value is not valid; use New.
 type Rand struct {
 	s [4]uint64
 }
+
+// State is a snapshot of a generator's full internal state, taken with
+// Save and reinstated with Restore. The simulator's block-sampling fast
+// path uses snapshots to prefetch randomness in bulk and later rewind the
+// generator to the position it would have reached drawing one value at a
+// time.
+type State [4]uint64
+
+// Save returns a snapshot of the generator's current state.
+func (r *Rand) Save() State { return r.s }
+
+// Restore rewinds the generator to a previously saved state; the output
+// stream continues exactly as it did from that point.
+func (r *Rand) Restore(s State) { r.s = s }
 
 // New returns a generator deterministically seeded from seed.
 // Distinct seeds yield independent-looking streams.
@@ -44,20 +61,54 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
-
 // Uint64 returns a uniformly distributed 64-bit value.
 func (r *Rand) Uint64() uint64 {
 	s := &r.s
-	result := rotl(s[0]+s[3], 23) + s[0]
+	result := bits.RotateLeft64(s[0]+s[3], 23) + s[0]
 	t := s[1] << 17
 	s[2] ^= s[0]
 	s[3] ^= s[1]
 	s[1] ^= s[2]
 	s[0] ^= s[3]
 	s[2] ^= t
-	s[3] = rotl(s[3], 45)
+	s[3] = bits.RotateLeft64(s[3], 45)
 	return result
+}
+
+// Fill overwrites buf with consecutive Uint64 outputs. The stream is
+// identical to len(buf) individual Uint64 calls; the point is speed: the
+// 256-bit state lives in registers for the whole block instead of being
+// loaded and stored once per draw. The scheduler fast path consumes its
+// randomness through Fill.
+func (r *Rand) Fill(buf []uint64) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range buf {
+		buf[i] = bits.RotateLeft64(s0+s3, 23) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
+// Skip advances the generator by n draws, discarding the outputs; the
+// state afterwards equals the state after n Uint64 calls.
+func (r *Rand) Skip(n int) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for ; n > 0; n-- {
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
 }
 
 // Uintn returns a uniform integer in [0, n). It panics if n == 0.
@@ -67,31 +118,16 @@ func (r *Rand) Uintn(n uint64) uint64 {
 		panic("xrand: Uintn with n == 0")
 	}
 	x := r.Uint64()
-	hi, lo := mul64(x, n)
+	hi, lo := bits.Mul64(x, n)
 	if lo < n {
 		thresh := -n % n
 		for lo < thresh {
 			x = r.Uint64()
-			hi, lo = mul64(x, n)
+			hi, lo = bits.Mul64(x, n)
 		}
 	}
 	_ = lo
 	return hi
-}
-
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	a0, a1 := a&mask32, a>>32
-	b0, b1 := b&mask32, b>>32
-	w0 := a0 * b0
-	t := a1*b0 + w0>>32
-	w1 := t & mask32
-	w2 := t >> 32
-	w1 += a0 * b1
-	hi = a1*b1 + w2 + w1>>32
-	lo = a * b
-	return hi, lo
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.

@@ -217,6 +217,52 @@ func TestBinomialMean(t *testing.T) {
 	}
 }
 
+func TestFillMatchesUint64Stream(t *testing.T) {
+	for _, size := range []int{1, 7, 64, 513} {
+		a, b := New(31), New(31)
+		buf := make([]uint64, size)
+		a.Fill(buf)
+		for i, v := range buf {
+			if want := b.Uint64(); v != want {
+				t.Fatalf("Fill(%d)[%d] = %d, want %d", size, i, v, want)
+			}
+		}
+		// The states must agree afterwards, too.
+		if a.Save() != b.Save() {
+			t.Fatalf("Fill(%d) left a different state than %d Uint64 calls", size, size)
+		}
+	}
+}
+
+func TestSaveRestore(t *testing.T) {
+	r := New(37)
+	r.Skip(100)
+	s := r.Save()
+	first := make([]uint64, 32)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Restore(s)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("replay diverged at %d: %d != %d", i, got, first[i])
+		}
+	}
+}
+
+func TestSkipMatchesDiscardedDraws(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 1000} {
+		a, b := New(41), New(41)
+		a.Skip(n)
+		for i := 0; i < n; i++ {
+			b.Uint64()
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Skip(%d) landed on a different stream position", n)
+		}
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	var sink uint64
@@ -233,4 +279,13 @@ func BenchmarkUintn(b *testing.B) {
 		sink ^= r.Uintn(12345)
 	}
 	_ = sink
+}
+
+func BenchmarkFill(b *testing.B) {
+	r := New(1)
+	buf := make([]uint64, 512)
+	b.SetBytes(512 * 8)
+	for i := 0; i < b.N; i++ {
+		r.Fill(buf)
+	}
 }

@@ -134,6 +134,11 @@ func MinDegree(g Graph) int { return graph.MinDegree(g) }
 //	lollipop:K:P  barbell:K:P  gnp:N:P  regular:N:D
 //
 // Random families consume randomness from r.
+//
+// Specs whose parameters are out of range for the family (e.g.
+// "cycle:2", "hypercube:0", "torus:2x5", negative sizes) return an
+// error; ParseGraph never panics on bad input, so CLI tools can report
+// the spec instead of crashing.
 func ParseGraph(spec string, r *Rand) (Graph, error) {
 	parts := strings.Split(spec, ":")
 	kind := parts[0]
@@ -152,15 +157,15 @@ func ParseGraph(spec string, r *Rand) (Graph, error) {
 		}
 		switch kind {
 		case "clique":
-			return Clique(n), nil
+			return buildGraph(spec, func() Graph { return Clique(n) })
 		case "cycle":
-			return Cycle(n), nil
+			return buildGraph(spec, func() Graph { return Cycle(n) })
 		case "path":
-			return Path(n), nil
+			return buildGraph(spec, func() Graph { return Path(n) })
 		case "star":
-			return Star(n), nil
+			return buildGraph(spec, func() Graph { return Star(n) })
 		default:
-			return Hypercube(n), nil
+			return buildGraph(spec, func() Graph { return Hypercube(n) })
 		}
 	case "torus", "grid":
 		if len(parts) != 2 {
@@ -176,9 +181,9 @@ func ParseGraph(spec string, r *Rand) (Graph, error) {
 			return nil, argErr()
 		}
 		if kind == "torus" {
-			return Torus(rows, cols), nil
+			return buildGraph(spec, func() Graph { return Torus(rows, cols) })
 		}
-		return Grid(rows, cols), nil
+		return buildGraph(spec, func() Graph { return Grid(rows, cols) })
 	case "lollipop", "barbell":
 		if len(parts) != 3 {
 			return nil, argErr()
@@ -189,9 +194,9 @@ func ParseGraph(spec string, r *Rand) (Graph, error) {
 			return nil, argErr()
 		}
 		if kind == "lollipop" {
-			return Lollipop(k, p), nil
+			return buildGraph(spec, func() Graph { return Lollipop(k, p) })
 		}
-		return Barbell(k, p), nil
+		return buildGraph(spec, func() Graph { return Barbell(k, p) })
 	case "gnp":
 		if len(parts) != 3 {
 			return nil, argErr()
@@ -201,7 +206,11 @@ func ParseGraph(spec string, r *Rand) (Graph, error) {
 		if err1 != nil || err2 != nil {
 			return nil, argErr()
 		}
-		return Gnp(n, p, r)
+		g, err := Gnp(n, p, r)
+		if err != nil {
+			return nil, fmt.Errorf("popgraph: bad graph spec %q: %w", spec, err)
+		}
+		return g, nil
 	case "regular":
 		if len(parts) != 3 {
 			return nil, argErr()
@@ -211,10 +220,26 @@ func ParseGraph(spec string, r *Rand) (Graph, error) {
 		if err1 != nil || err2 != nil {
 			return nil, argErr()
 		}
-		return RandomRegular(n, d, r)
+		g, err := RandomRegular(n, d, r)
+		if err != nil {
+			return nil, fmt.Errorf("popgraph: bad graph spec %q: %w", spec, err)
+		}
+		return g, nil
 	default:
 		return nil, argErr()
 	}
+}
+
+// buildGraph converts generator panics on out-of-range parameters (which
+// are fine for programmatic constructor calls, where they flag a caller
+// bug) into errors carrying the offending CLI spec.
+func buildGraph(spec string, build func() Graph) (g Graph, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("popgraph: bad graph spec %q: %v", spec, p)
+		}
+	}()
+	return build(), nil
 }
 
 // Protocol is a population protocol runnable by Run; see the constructors

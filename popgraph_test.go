@@ -89,6 +89,36 @@ func TestParseGraphErrors(t *testing.T) {
 	}
 }
 
+// TestParseGraphRangeErrors: specs that are grammatically fine but whose
+// parameters are out of range for the family must come back as errors
+// naming the spec — the generators panic on them, and that panic used to
+// escape and crash the CLI tools with a backtrace.
+func TestParseGraphRangeErrors(t *testing.T) {
+	r := popgraph.NewRand(13)
+	for _, spec := range []string{
+		"clique:1", "clique:-5", "clique:0",
+		"cycle:2", "cycle:-3",
+		"path:1", "path:-1",
+		"star:1", "star:-2",
+		"hypercube:0", "hypercube:25", "hypercube:-1",
+		"torus:2x5", "torus:5x2", "torus:-3x4",
+		"grid:0x4", "grid:1x1", "grid:-2x3",
+		"lollipop:1:3", "lollipop:4:0", "lollipop:-2:-2",
+		"barbell:1:2", "barbell:2:-1",
+		"gnp:1:0.5", "gnp:10:0", "gnp:10:1.5", "gnp:-4:0.5",
+		"regular:10:2", "regular:10:11", "regular:5:3", "regular:-6:3",
+	} {
+		g, err := popgraph.ParseGraph(spec, r)
+		if err == nil {
+			t.Errorf("spec %q accepted (built %s)", spec, g.Name())
+			continue
+		}
+		if !strings.Contains(err.Error(), spec) {
+			t.Errorf("spec %q: error %q does not name the spec", spec, err)
+		}
+	}
+}
+
 func TestParseProtocol(t *testing.T) {
 	r := popgraph.NewRand(15)
 	g := popgraph.Clique(8)

@@ -1,6 +1,8 @@
 package popgraph
 
 import (
+	"fmt"
+
 	"popgraph/internal/core"
 	"popgraph/internal/protocols/beauquier"
 	"popgraph/internal/protocols/fastelect"
@@ -116,8 +118,16 @@ func ParseProtocol(spec string, g Graph, r *Rand) (Protocol, error) {
 // factory producing fresh instances, as required by the parallel trial
 // runner: concurrently running trials must not share protocol state.
 // Graph-dependent tuning ("fast" estimates B(G) using r) happens once,
-// here, not per instance.
-func ProtocolFactory(spec string, g Graph, r *Rand) (func() Protocol, error) {
+// here, not per instance; a tuning failure (degenerate graph, invalid
+// derived parameters) comes back as an error, never a panic, so CLI
+// tools can report the spec instead of crashing.
+func ProtocolFactory(spec string, g Graph, r *Rand) (factory func() Protocol, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			factory = nil
+			err = fmt.Errorf("popgraph: protocol %q on graph %q: %v", spec, g.Name(), p)
+		}
+	}()
 	switch spec {
 	case "six-state", "sixstate", "six":
 		return func() Protocol { return NewSixState() }, nil
