@@ -1,18 +1,23 @@
-// Command bench times the simulation engine on a fixed graph × protocol
-// grid and writes the machine-readable BENCH_sim.json tracked at the
-// repo root, so scheduler-engine throughput is measured the same way
-// PR-over-PR.
+// Command bench times the simulation engine on a fixed graph ×
+// scheduler × protocol grid and writes the machine-readable
+// BENCH_sim.json tracked at the repo root, so engine throughput is
+// measured the same way PR-over-PR.
 //
-// Every cell is timed on both engines — the type-specialized
-// block-sampling hot loops and the generic EdgeSampler reference loop —
-// over the identical interaction sequence, and the report records
-// ns/step, steps/sec and the specialized-over-generic speedup per cell.
+// Uniform-scheduler cells are timed on both engines — the
+// type-specialized block-sampling hot loops and the generic EdgeSampler
+// reference loop — over the identical interaction sequence; scheduler
+// cells (weighted, node-clock, churn) time the Source-based loop once,
+// so the report records uniform-vs-weighted throughput side by side.
 //
 // Usage:
 //
-//	bench                  # full grid, writes BENCH_sim.json
-//	bench -quick           # smoke-sized grid (CI)
-//	bench -out "" -q       # measure only, write nothing, table to stdout
+//	bench                             # full grid, writes BENCH_sim.json
+//	bench -quick                      # smoke-sized grid (CI)
+//	bench -out "" -q                  # measure only, write nothing
+//	bench -quick -compare BENCH_sim.json
+//	                                  # regression gate: exit 1 if any cell's
+//	                                  # specialized ns/step is >30% above the
+//	                                  # committed baseline's
 package main
 
 import (
@@ -26,19 +31,41 @@ import (
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_sim.json", "JSON report path (empty = skip)")
-		seed  = flag.Uint64("seed", 2022, "base random seed for the timed trials")
-		quick = flag.Bool("quick", false, "shrink the grid for a smoke run")
-		quiet = flag.Bool("q", false, "suppress per-cell progress output")
+		out     = flag.String("out", "BENCH_sim.json", "JSON report path (empty = skip)")
+		seed    = flag.Uint64("seed", 2022, "base random seed for the timed trials")
+		quick   = flag.Bool("quick", false, "shrink the grid for a smoke run")
+		quiet   = flag.Bool("q", false, "suppress per-cell progress output")
+		compare = flag.String("compare", "", "baseline BENCH_sim.json to gate against (exit 1 on regression)")
+		tol     = flag.Float64("compare-tol", 0.30, "regression tolerance for -compare as a fraction (0.30 = 30%)")
 	)
 	flag.Parse()
-	if err := run(*out, *seed, *quick, *quiet); err != nil {
+	if err := run(*out, *seed, *quick, *quiet, *compare, *tol); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, seed uint64, quick, quiet bool) error {
+func run(out string, seed uint64, quick, quiet bool, compare string, tol float64) error {
+	// Load the baseline before anything writes: -out and -compare may
+	// name the same file (`bench -compare BENCH_sim.json` with the
+	// default -out), and writing first would clobber the baseline and
+	// then "gate" the fresh report against itself.
+	var base bench.Report
+	if compare != "" {
+		if tol < 0 {
+			return fmt.Errorf("-compare-tol must be >= 0, got %v", tol)
+		}
+		f, err := os.Open(compare)
+		if err != nil {
+			return err
+		}
+		base, err = bench.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", compare, err)
+		}
+	}
+
 	logf := func(format string, args ...interface{}) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
@@ -52,10 +79,10 @@ func run(out string, seed uint64, quick, quiet bool) error {
 
 	t := table.New(fmt.Sprintf("engine throughput (%s, %s/%s, seed %d)",
 		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.Seed),
-		"graph", "protocol", "n", "m", "spec ns/step", "spec steps/s",
+		"graph", "sched", "protocol", "n", "m", "spec ns/step", "spec steps/s",
 		"gen ns/step", "gen steps/s", "speedup")
 	for _, m := range rep.Results {
-		t.AddRow(m.Graph, m.Protocol, m.N, m.M,
+		t.AddRow(m.Graph, m.Scheduler, m.Protocol, m.N, m.M,
 			m.Specialized.NsPerStep, m.Specialized.StepsPerSec,
 			m.Generic.NsPerStep, m.Generic.StepsPerSec,
 			fmt.Sprintf("%.2fx", m.Speedup))
@@ -63,22 +90,35 @@ func run(out string, seed uint64, quick, quiet bool) error {
 	t.WriteText(os.Stdout)
 	fmt.Printf("max speedup: %.2fx\n", rep.MaxSpeedup)
 
-	if out == "" {
-		return nil
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "bench: wrote %s\n", out)
+		}
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	if err := rep.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if !quiet {
-		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", out)
+
+	if compare != "" {
+		if msgs := bench.Compare(rep, base, tol); len(msgs) > 0 {
+			for _, msg := range msgs {
+				fmt.Fprintln(os.Stderr, "bench: REGRESSION:", msg)
+			}
+			return fmt.Errorf("%d of %d cells regressed beyond %.0f%% of %s",
+				len(msgs), len(rep.Results), 100*tol, compare)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "bench: no cell regressed beyond %.0f%% of %s\n",
+				100*tol, compare)
+		}
 	}
 	return nil
 }

@@ -6,10 +6,13 @@
 // Usage:
 //
 //	popsim -graph torus:16x16 -protocol fast -trials 10 -seed 42
+//	popsim -graph ba:256:3 -scheduler churn:64:16 -protocol six-state
 //
 // Graphs: clique:N cycle:N path:N star:N hypercube:D torus:RxC grid:RxC
-// lollipop:K:P barbell:K:P gnp:N:P regular:N:D.
+// lollipop:K:P barbell:K:P gnp:N:P regular:N:D ws:N:K:BETA ba:N:M.
 // Protocols: six-state | identifier | identifier-regular | fast | star.
+// Schedulers: uniform | weighted[:exp|:degprod] | node-clock |
+// churn:UP:DOWN.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 func main() {
 	var (
 		graphSpec = flag.String("graph", "clique:128", "graph spec, e.g. torus:16x16")
+		schedSpec = flag.String("scheduler", "uniform", "interaction scheduler: uniform|weighted[:exp|:degprod]|node-clock|churn:UP:DOWN")
 		protoSpec = flag.String("protocol", "six-state", "protocol: six-state|identifier|identifier-regular|fast|star")
 		seed      = flag.Uint64("seed", 1, "base random seed")
 		trialsN   = flag.Int("trials", 5, "number of independent runs")
@@ -35,13 +39,13 @@ func main() {
 		verbose   = flag.Bool("v", false, "print every run")
 	)
 	flag.Parse()
-	if err := run(*graphSpec, *protoSpec, *seed, *trialsN, *maxSteps, *dropRate, *workers, *verbose); err != nil {
+	if err := run(*graphSpec, *schedSpec, *protoSpec, *seed, *trialsN, *maxSteps, *dropRate, *workers, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "popsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphSpec, protoSpec string, seed uint64, trials int, maxSteps int64,
+func run(graphSpec, schedSpec, protoSpec string, seed uint64, trials int, maxSteps int64,
 	dropRate float64, workers int, verbose bool) error {
 	r := popgraph.NewRand(seed)
 	g, err := popgraph.ParseGraph(graphSpec, r)
@@ -54,12 +58,19 @@ func run(graphSpec, protoSpec string, seed uint64, trials int, maxSteps int64,
 	if dropRate < 0 || dropRate >= 1 {
 		return fmt.Errorf("drop rate %v outside [0, 1)", dropRate)
 	}
+	sched, err := popgraph.ParseScheduler(schedSpec, g, r)
+	if err != nil {
+		return err
+	}
+	if sched.Name() != "uniform" {
+		fmt.Printf("scheduler %s\n", sched.Name())
+	}
 	factory, err := popgraph.ProtocolFactory(protoSpec, g, r)
 	if err != nil {
 		return err
 	}
 	jobs := runner.TrialJobs(g, factory, seed, trials,
-		sim.Options{MaxSteps: maxSteps, DropRate: dropRate})
+		sim.Options{MaxSteps: maxSteps, DropRate: dropRate, Scheduler: sched})
 	outcomes := runner.Pool{Workers: workers}.Run(jobs)
 
 	steps := make([]float64, 0, trials)

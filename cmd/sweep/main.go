@@ -9,12 +9,14 @@
 //	sweep -graphs clique:N,cycle:N,torus:NxN -sizes 16,32 \
 //	      -protocols six-state,identifier,fast -trials 5 -seed 42 \
 //	      -out results.jsonl
+//	sweep -graphs ws:N:4:0.1,ba:N:3 -sizes 64,128 \
+//	      -schedulers uniform,weighted:exp,churn:64:16 -protocols six-state
 //	sweep -spec sweep.json -workers 4 -markdown
 //
 // The -spec file is JSON with fields name, seed, trials, graphs, sizes,
-// protocols, drop_rates, max_steps (see internal/sweep); explicit flags
-// override the corresponding spec fields. Progress streams to stderr;
-// the summary table goes to stdout.
+// schedulers, protocols, drop_rates, max_steps (see internal/sweep);
+// explicit flags override the corresponding spec fields. Progress
+// streams to stderr; the summary table goes to stdout.
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 		specFile  = flag.String("spec", "", "JSON sweep spec file (flags override its fields)")
 		graphs    = flag.String("graphs", "", "comma-separated graph templates, N = size rung (e.g. clique:N,torus:NxN)")
 		sizes     = flag.String("sizes", "", "comma-separated size ladder substituted for N")
+		scheds    = flag.String("schedulers", "", "comma-separated schedulers (uniform|weighted[:exp|:degprod]|node-clock|churn:UP:DOWN)")
 		protocols = flag.String("protocols", "", "comma-separated protocols (six-state|identifier|identifier-regular|fast|star)")
 		drops     = flag.String("drop", "", "comma-separated drop rates in [0,1)")
 		trialsN   = flag.Int("trials", 0, "trials per grid cell")
@@ -53,14 +56,14 @@ func main() {
 			seedSet = true
 		}
 	})
-	if err := run(*specFile, *graphs, *sizes, *protocols, *drops, *trialsN,
+	if err := run(*specFile, *graphs, *sizes, *scheds, *protocols, *drops, *trialsN,
 		*seed, seedSet, *maxSteps, *workers, *out, *markdown, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specFile, graphs, sizes, protocols, drops string, trials int,
+func run(specFile, graphs, sizes, scheds, protocols, drops string, trials int,
 	seed uint64, seedSet bool, maxSteps int64, workers int, out string,
 	markdown, quiet bool) error {
 	spec := sweep.Spec{Seed: 1, Trials: 5}
@@ -83,6 +86,9 @@ func run(specFile, graphs, sizes, protocols, drops string, trials int,
 			return fmt.Errorf("bad -sizes: %w", err)
 		}
 		spec.Sizes = ns
+	}
+	if scheds != "" {
+		spec.Schedulers = splitList(scheds)
 	}
 	if protocols != "" {
 		spec.Protocols = splitList(protocols)

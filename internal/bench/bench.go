@@ -1,15 +1,25 @@
 // Package bench measures scheduler-engine throughput on a fixed
-// graph × protocol grid and serializes the results as the repo-root
-// BENCH_sim.json, so the simulator's performance trajectory is tracked
-// PR-over-PR.
+// graph × scheduler × protocol grid and serializes the results as the
+// repo-root BENCH_sim.json, so the simulator's performance trajectory
+// is tracked PR-over-PR.
 //
 // Each grid cell is timed twice through the batch runner
-// (internal/runner, one worker, so wall-clock is per-trial time): once
-// on the type-specialized block-sampling engine and once on the generic
-// EdgeSampler loop, which an explicit Options.Sampler forces. Both
-// engines consume the identical random stream (see internal/sim), so the
-// comparison times the same interaction sequence and the ratio is a pure
-// engine speedup.
+// (internal/runner, one worker, so wall-clock is per-trial time). For
+// uniform-scheduler cells the two timings are the type-specialized
+// block-sampling engine and the generic EdgeSampler loop, which an
+// explicit Options.Sampler forces; both consume the identical random
+// stream (see internal/sim), so the ratio is a pure engine speedup. For
+// non-uniform scheduler cells there is no specialized loop — the
+// Source-based loop is timed once, its stats recorded under both
+// labels (speedup exactly 1), and the interesting comparison is across
+// cells: uniform vs weighted vs churn throughput on the same graph ×
+// protocol.
+//
+// Compare diffs a fresh report against a committed baseline and reports
+// cells whose specialized ns/step regressed beyond a tolerance; CI runs
+// it as a smoke gate. ns/step is machine-dependent, so gate thresholds
+// must be generous (CI uses 30%) and baselines should be regenerated on
+// the machine whose trajectory is being tracked.
 package bench
 
 import (
@@ -25,13 +35,16 @@ import (
 )
 
 // Schema identifies the BENCH_sim.json layout; bump on breaking changes.
-const Schema = "popgraph-bench/v1"
+// v2 added the scheduler dimension.
+const Schema = "popgraph-bench/v2"
 
-// Config is one grid cell: a graph and protocol spec with the trial
-// shape. Steps caps every trial, so cells are timed over comparable
-// work whether or not the protocol stabilizes first.
+// Config is one grid cell: a graph, scheduler and protocol spec with
+// the trial shape. Steps caps every trial, so cells are timed over
+// comparable work whether or not the protocol stabilizes first.
 type Config struct {
 	GraphSpec string `json:"graph_spec"`
+	// Scheduler is a ParseScheduler spec; empty means uniform.
+	Scheduler string `json:"scheduler,omitempty"`
 	Protocol  string `json:"protocol"`
 	Steps     int64  `json:"steps"`
 	Trials    int    `json:"trials"`
@@ -41,25 +54,41 @@ type Config struct {
 type EngineStats struct {
 	// Steps is the total number of interactions timed across all trials.
 	Steps int64 `json:"steps"`
-	// NsPerStep and StepsPerSec are the headline throughput numbers.
+	// NsPerStep and StepsPerSec are the headline throughput numbers,
+	// aggregated over all trials.
 	NsPerStep   float64 `json:"ns_per_step"`
 	StepsPerSec float64 `json:"steps_per_sec"`
+	// BestNsPerStep is the fastest single trial. Minimum-of-trials
+	// filters out scheduling interference and cache-warmup noise, so the
+	// regression gate (Compare) uses it rather than the mean.
+	BestNsPerStep float64 `json:"best_ns_per_step"`
 }
 
 // Measurement is the result of one grid cell.
 type Measurement struct {
 	Graph     string `json:"graph"`
 	GraphSpec string `json:"graph_spec"`
+	// Scheduler is the scheduler's display name ("uniform" when the
+	// config left it empty).
+	Scheduler string `json:"scheduler"`
 	Protocol  string `json:"protocol"`
 	N         int    `json:"n"`
 	M         int    `json:"m"`
 	Trials    int    `json:"trials"`
-	// Specialized is the default engine (type-specialized hot loops);
-	// Generic is the interface-dispatch reference loop.
+	// Specialized is the default engine (type-specialized hot loops for
+	// uniform cells, the scheduler loop otherwise); Generic is the
+	// interface-dispatch reference loop for uniform cells and a copy of
+	// Specialized otherwise (there is no second engine to time).
 	Specialized EngineStats `json:"specialized"`
 	Generic     EngineStats `json:"generic"`
-	// Speedup is generic ns/step divided by specialized ns/step.
+	// Speedup is generic ns/step divided by specialized ns/step;
+	// exactly 1 on non-uniform cells.
 	Speedup float64 `json:"speedup"`
+}
+
+// key identifies a cell for baseline comparison.
+func (m Measurement) key() string {
+	return m.GraphSpec + "|" + m.Scheduler + "|" + m.Protocol
 }
 
 // Report is the machine-readable benchmark output.
@@ -77,12 +106,20 @@ type Report struct {
 
 // DefaultGrid returns the standard grid: the six-state baseline on every
 // concrete representation (implicit clique, CSR torus/lollipop/cycle)
-// plus one identifier and one fast cell. quick shrinks the work for
-// smoke tests.
+// plus one identifier and one fast cell, and a scheduler dimension — the
+// six-state torus cell repeated under the weighted, node-clock and churn
+// schedulers so BENCH_sim.json records uniform-vs-weighted throughput.
+// quick shrinks the work for smoke tests.
 func DefaultGrid(quick bool) []Config {
 	steps, trials := int64(1<<21), 3
 	if quick {
-		steps, trials = 1<<14, 1
+		// Still smoke-fast (seconds), but big enough that ns/step
+		// converges to the full grid's — much shorter timed regions are
+		// dominated by warmup and timer granularity — and with enough
+		// trials that the best-of-trials minimum, which the CI -compare
+		// gate against the committed full-grid baseline uses, reliably
+		// lands on a quiet scheduler slice even on busy machines.
+		steps, trials = 1<<18, 6
 	}
 	return []Config{
 		{GraphSpec: "clique:1024", Protocol: "six-state", Steps: steps, Trials: trials},
@@ -91,6 +128,9 @@ func DefaultGrid(quick bool) []Config {
 		{GraphSpec: "cycle:1024", Protocol: "six-state", Steps: steps, Trials: trials},
 		{GraphSpec: "torus:32x32", Protocol: "identifier", Steps: steps, Trials: trials},
 		{GraphSpec: "clique:1024", Protocol: "fast", Steps: steps, Trials: trials},
+		{GraphSpec: "torus:32x32", Scheduler: "weighted:exp", Protocol: "six-state", Steps: steps, Trials: trials},
+		{GraphSpec: "torus:32x32", Scheduler: "node-clock", Protocol: "six-state", Steps: steps, Trials: trials},
+		{GraphSpec: "torus:32x32", Scheduler: "churn:64:16", Protocol: "six-state", Steps: steps, Trials: trials},
 	}
 }
 
@@ -115,8 +155,8 @@ func Run(cfgs []Config, seed uint64, logf func(format string, args ...interface{
 		}
 		rep.Results = append(rep.Results, m)
 		if logf != nil {
-			logf("bench: %-16s × %-10s  specialized %6.2f ns/step  generic %6.2f ns/step  speedup %.2fx",
-				m.Graph, m.Protocol, m.Specialized.NsPerStep, m.Generic.NsPerStep, m.Speedup)
+			logf("bench: %-16s × %-12s × %-10s  specialized %6.2f ns/step  generic %6.2f ns/step  speedup %.2fx",
+				m.Graph, m.Scheduler, m.Protocol, m.Specialized.NsPerStep, m.Generic.NsPerStep, m.Speedup)
 		}
 	}
 	return rep, nil
@@ -133,6 +173,14 @@ func measure(cfg Config, seed uint64) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
+	schedSpec := cfg.Scheduler
+	if schedSpec == "" {
+		schedSpec = "uniform"
+	}
+	sched, err := popgraph.ParseScheduler(schedSpec, g, r)
+	if err != nil {
+		return Measurement{}, err
+	}
 	factory, err := popgraph.ProtocolFactory(cfg.Protocol, g, r)
 	if err != nil {
 		return Measurement{}, err
@@ -140,19 +188,30 @@ func measure(cfg Config, seed uint64) (Measurement, error) {
 	m := Measurement{
 		Graph:     g.Name(),
 		GraphSpec: cfg.GraphSpec,
+		Scheduler: sched.Name(),
 		Protocol:  factory().Name(),
 		N:         g.N(),
 		M:         g.M(),
 		Trials:    cfg.Trials,
 	}
-	spec, err := timeEngine(g, factory, seed, cfg, sim.Options{MaxSteps: cfg.Steps})
+	// Uniform cells compare the specialized fast loops against the
+	// generic EdgeSampler loop (forced by an explicit Sampler). There is
+	// no specialized loop for other schedulers — a second timing of the
+	// identical Source-based loop would only measure noise — so those
+	// cells are timed once and the stats copied, making the speedup
+	// exactly 1.
+	spec, err := timeEngine(g, factory, seed, cfg,
+		sim.Options{MaxSteps: cfg.Steps, Scheduler: sched})
 	if err != nil {
 		return Measurement{}, err
 	}
-	gen, err := timeEngine(g, factory, seed, cfg,
-		sim.Options{MaxSteps: cfg.Steps, Sampler: g})
-	if err != nil {
-		return Measurement{}, err
+	gen := spec
+	if sched.Name() == "uniform" {
+		gen, err = timeEngine(g, factory, seed, cfg,
+			sim.Options{MaxSteps: cfg.Steps, Scheduler: sched, Sampler: g})
+		if err != nil {
+			return Measurement{}, err
+		}
 	}
 	m.Specialized, m.Generic = spec, gen
 	if spec.NsPerStep > 0 {
@@ -161,9 +220,10 @@ func measure(cfg Config, seed uint64) (Measurement, error) {
 	return m, nil
 }
 
-// timeEngine runs the cell's trials serially through the batch runner
-// and returns total-steps/wall-clock throughput. A warmup trial runs
-// first, untimed, to populate caches and let the protocol's
+// timeEngine runs the cell's trials serially through the batch runner,
+// timing each trial on its own so the minimum survives alongside the
+// aggregate, and returns total-steps/wall-clock throughput. A warmup
+// trial runs first, untimed, to populate caches and let the protocol's
 // graph-dependent setup settle.
 func timeEngine(g popgraph.Graph, factory func() popgraph.Protocol, seed uint64,
 	cfg Config, opts sim.Options) (EngineStats, error) {
@@ -176,26 +236,87 @@ func timeEngine(g popgraph.Graph, factory func() popgraph.Protocol, seed uint64,
 	pool.Run(runner.TrialJobs(g, factory, seed, 1, warm))
 
 	jobs := runner.TrialJobs(g, factory, seed, cfg.Trials, opts)
-	start := time.Now()
-	outs := pool.Run(jobs)
-	elapsed := time.Since(start)
-
-	var steps int64
-	for _, o := range outs {
+	var (
+		steps   int64
+		totalNs float64
+		bestNs  float64
+	)
+	for _, job := range jobs {
+		start := time.Now()
+		outs := pool.Run([]runner.Job{job})
+		elapsed := time.Since(start)
+		o := outs[0]
 		if o.Failed() {
 			return EngineStats{}, fmt.Errorf("trial crashed: %s", o.Err)
 		}
+		if o.Result.Steps > 0 {
+			trialNs := float64(elapsed.Nanoseconds()) / float64(o.Result.Steps)
+			if bestNs == 0 || trialNs < bestNs {
+				bestNs = trialNs
+			}
+		}
 		steps += o.Result.Steps
+		totalNs += float64(elapsed.Nanoseconds())
 	}
 	if steps == 0 {
 		return EngineStats{}, fmt.Errorf("no interactions executed")
 	}
-	ns := float64(elapsed.Nanoseconds())
 	return EngineStats{
-		Steps:       steps,
-		NsPerStep:   ns / float64(steps),
-		StepsPerSec: float64(steps) / elapsed.Seconds(),
+		Steps:         steps,
+		NsPerStep:     totalNs / float64(steps),
+		StepsPerSec:   float64(steps) / (totalNs / 1e9),
+		BestNsPerStep: bestNs,
 	}, nil
+}
+
+// Compare checks cur against a committed baseline and returns one
+// message per regressed cell: a cell regresses when its specialized
+// best-trial ns/step exceeds the baseline cell's by more than tol (a
+// fraction; 0.30 means 30% slower). Best-of-trials is the comparison
+// statistic because minima are far more stable than means under
+// machine noise; reports from producers predating the field fall back
+// to the aggregate. Cells are matched on graph spec × scheduler ×
+// protocol; individual cells present on only one side are skipped —
+// new grid cells have no baseline and removed ones no current
+// measurement — but if *no* cell matches at all (a grid or spec rename
+// without a regenerated baseline), that is itself reported, so the
+// gate can never go vacuously green. An empty slice means no
+// regression.
+func Compare(cur, base Report, tol float64) []string {
+	baseline := make(map[string]Measurement, len(base.Results))
+	for _, m := range base.Results {
+		baseline[m.key()] = m
+	}
+	gateNs := func(e EngineStats) float64 {
+		// Fall back to the aggregate for hand-edited baselines that
+		// lack the best-of-trials field.
+		if e.BestNsPerStep > 0 {
+			return e.BestNsPerStep
+		}
+		return e.NsPerStep
+	}
+	var msgs []string
+	matched := 0
+	for _, m := range cur.Results {
+		b, ok := baseline[m.key()]
+		if !ok || gateNs(b.Specialized) <= 0 {
+			continue
+		}
+		matched++
+		curNs, baseNs := gateNs(m.Specialized), gateNs(b.Specialized)
+		if curNs > baseNs*(1+tol) {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s × %s × %s: specialized %.2f ns/step vs baseline %.2f (+%.0f%%, tolerance %.0f%%)",
+				m.GraphSpec, m.Scheduler, m.Protocol,
+				curNs, baseNs, 100*(curNs/baseNs-1), 100*tol))
+		}
+	}
+	if matched == 0 && len(cur.Results) > 0 {
+		msgs = append(msgs, fmt.Sprintf(
+			"no cell of the current grid matches the baseline (%d current, %d baseline cells) — regenerate the committed report",
+			len(cur.Results), len(base.Results)))
+	}
+	return msgs
 }
 
 // WriteJSON serializes the report with stable field order and trailing

@@ -28,6 +28,9 @@ func TestRunQuickGrid(t *testing.T) {
 		if m.N != 64 || m.Protocol == "" {
 			t.Fatalf("measurement %+v", m)
 		}
+		if m.Scheduler != "uniform" {
+			t.Fatalf("empty config scheduler resolved to %q, want uniform", m.Scheduler)
+		}
 		for _, e := range []EngineStats{m.Specialized, m.Generic} {
 			if e.Steps <= 0 || e.NsPerStep <= 0 || e.StepsPerSec <= 0 {
 				t.Fatalf("degenerate engine stats %+v", e)
@@ -54,10 +57,88 @@ func TestRunRejectsBadConfig(t *testing.T) {
 		{GraphSpec: "clique:16", Protocol: "bogus", Steps: 100, Trials: 1},
 		{GraphSpec: "clique:16", Protocol: "six-state", Steps: 0, Trials: 1},
 		{GraphSpec: "clique:16", Protocol: "six-state", Steps: 100, Trials: 0},
+		{GraphSpec: "clique:16", Scheduler: "bogus", Protocol: "six-state", Steps: 100, Trials: 1},
+		{GraphSpec: "clique:16", Scheduler: "churn:0:0", Protocol: "six-state", Steps: 100, Trials: 1},
 	} {
 		if _, err := Run([]Config{cfg}, 1, nil); err == nil {
 			t.Errorf("config %+v accepted", cfg)
 		}
+	}
+}
+
+// TestRunSchedulerCells: non-uniform scheduler cells time the same
+// Source-based loop twice — both timings must cover the identical step
+// count and carry the scheduler's display name.
+func TestRunSchedulerCells(t *testing.T) {
+	cfgs := []Config{
+		{GraphSpec: "torus:8x8", Scheduler: "weighted:exp", Protocol: "six-state", Steps: 1 << 12, Trials: 1},
+		{GraphSpec: "torus:8x8", Scheduler: "node-clock", Protocol: "six-state", Steps: 1 << 12, Trials: 1},
+		{GraphSpec: "torus:8x8", Scheduler: "churn:16:4", Protocol: "six-state", Steps: 1 << 12, Trials: 1},
+	}
+	rep, err := Run(cfgs, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"weighted:exp", "node-clock", "churn:16:4"}
+	for i, m := range rep.Results {
+		if m.Scheduler != wantNames[i] {
+			t.Fatalf("cell %d scheduler %q, want %q", i, m.Scheduler, wantNames[i])
+		}
+		if m.Specialized.Steps != m.Generic.Steps {
+			t.Fatalf("cell %d timed different work: %d vs %d steps",
+				i, m.Specialized.Steps, m.Generic.Steps)
+		}
+		if m.Specialized.NsPerStep <= 0 || m.Generic.NsPerStep <= 0 {
+			t.Fatalf("cell %d degenerate stats %+v", i, m)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cell := func(graph, sched, proto string, ns float64) Measurement {
+		return Measurement{
+			GraphSpec: graph, Scheduler: sched, Protocol: proto,
+			Specialized: EngineStats{Steps: 1, NsPerStep: ns, StepsPerSec: 1e9 / ns},
+		}
+	}
+	base := Report{Schema: Schema, Results: []Measurement{
+		cell("clique:64", "uniform", "six-state", 10),
+		cell("torus:8x8", "weighted:exp", "six-state", 20),
+		cell("cycle:64", "uniform", "six-state", 10),
+	}}
+	cur := Report{Schema: Schema, Results: []Measurement{
+		cell("clique:64", "uniform", "six-state", 12.9),    // +29%: inside tolerance
+		cell("torus:8x8", "weighted:exp", "six-state", 30), // +50%: regression
+		cell("ba:64:2", "uniform", "six-state", 99),        // no baseline: skipped
+	}}
+	msgs := Compare(cur, base, 0.30)
+	if len(msgs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(msgs), msgs)
+	}
+	if !strings.Contains(msgs[0], "torus:8x8") || !strings.Contains(msgs[0], "weighted:exp") {
+		t.Fatalf("regression message %q does not name the cell", msgs[0])
+	}
+	if msgs := Compare(cur, base, 10); len(msgs) != 0 {
+		t.Fatalf("huge tolerance still regressed: %v", msgs)
+	}
+	// A faster current run never regresses, even at zero tolerance:
+	// base's cells are all at or below cur's numbers, and base's cycle
+	// cell has no counterpart in cur, so it is skipped.
+	if msgs := Compare(base, cur, 0); len(msgs) != 0 {
+		t.Fatalf("reverse compare flagged improvements: %v", msgs)
+	}
+	// When BestNsPerStep is present it is the gate statistic: a noisy
+	// mean does not regress as long as the best trial holds the line.
+	noisy := cell("clique:64", "uniform", "six-state", 50)
+	noisy.Specialized.BestNsPerStep = 10
+	if msgs := Compare(Report{Results: []Measurement{noisy}}, base, 0.30); len(msgs) != 0 {
+		t.Fatalf("best-of-trials gate used the mean: %v", msgs)
+	}
+	// Zero overlap (grid renamed, baseline stale) must not pass silently.
+	renamed := Report{Results: []Measurement{cell("torus:32", "uniform", "six-state", 1)}}
+	msgs = Compare(renamed, base, 0.30)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "no cell") {
+		t.Fatalf("zero-overlap compare: %v", msgs)
 	}
 }
 
@@ -74,8 +155,8 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		`"schema": "popgraph-bench/v1"`, `"steps_per_sec"`, `"ns_per_step"`,
-		`"speedup"`, `"max_speedup"`, `"clique-32"`,
+		`"schema": "popgraph-bench/v2"`, `"steps_per_sec"`, `"ns_per_step"`,
+		`"speedup"`, `"max_speedup"`, `"clique-32"`, `"scheduler": "uniform"`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("JSON missing %q:\n%s", want, out)

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 
 	"popgraph/internal/xrand"
 )
@@ -297,6 +298,119 @@ func unrankPair(rank int64, n int) (int, int) {
 		u++
 	}
 	return u, u + 1 + int(rank)
+}
+
+// WattsStrogatz samples a Watts–Strogatz small-world graph: a ring
+// lattice on n nodes with k neighbors per node (k/2 on each side, k
+// even), each lattice edge rewired with probability beta to a uniformly
+// random non-duplicate endpoint. beta = 0 is the pure lattice, beta = 1
+// approaches G(n, k/(n-1)); small beta gives the small-world regime —
+// lattice-scale clustering with random-graph-scale diameter, hence
+// broadcast time B(G) far below the lattice's. The edge count is always
+// n·k/2 (rewiring moves edges, never adds or removes them). The sample
+// is conditioned on connectivity with up to 1000 retries.
+func WattsStrogatz(n, k int, beta float64, r *xrand.Rand) (*Dense, error) {
+	if n < 3 || k < 2 || k%2 != 0 || k >= n || math.IsNaN(beta) || beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graph: WattsStrogatz(%d, %d, %v): need n >= 3, even 2 <= k < n, beta in [0,1]: %w",
+			n, k, beta, ErrInvalidEdge)
+	}
+	name := fmt.Sprintf("ws-%d-k%d-b%g", n, k, beta)
+	for try := 0; try < 1000; try++ {
+		g := newDenseUnchecked(n, sortPacked(wsEdges(n, k, beta, r)), name)
+		if connected(g) {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: WattsStrogatz(%d, %d, %v) stayed disconnected after 1000 draws: %w",
+		n, k, beta, ErrDisconnected)
+}
+
+// wsEdges builds one rewired ring lattice. The edge set is tracked in a
+// map so rewiring never creates duplicates or self-loops; an edge whose
+// rewiring target collides keeps its lattice endpoint.
+func wsEdges(n, k int, beta float64, r *xrand.Rand) []int64 {
+	seen := make(map[int64]struct{}, n*k/2)
+	order := make([]int64, 0, n*k/2)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			key := pack(u, (u+j)%n)
+			seen[key] = struct{}{}
+			order = append(order, key)
+		}
+	}
+	packed := make([]int64, 0, len(order))
+	for _, key := range order {
+		u := int(key >> 32)
+		if beta > 0 && r.Float64() < beta {
+			// Rewire the far endpoint; keep the lattice edge when the node
+			// is saturated or a bounded number of draws keeps colliding.
+			for attempt := 0; attempt < 32; attempt++ {
+				w := r.Intn(n)
+				cand := pack(u, w)
+				if w == u {
+					continue
+				}
+				if _, dup := seen[cand]; dup {
+					continue
+				}
+				delete(seen, key)
+				seen[cand] = struct{}{}
+				key = cand
+				break
+			}
+		}
+		packed = append(packed, key)
+	}
+	return packed
+}
+
+// BarabasiAlbert samples a Barabási–Albert preferential-attachment
+// graph: a seed clique on m+1 nodes, then each new node attaches m
+// edges to distinct existing nodes with probability proportional to
+// their current degree, yielding a power-law degree distribution —
+// heavy hubs, the opposite extreme from regular graphs for
+// degree-sensitive scheduler dynamics. Connected by construction.
+// Requires 1 <= m < n.
+func BarabasiAlbert(n, m int, r *xrand.Rand) (*Dense, error) {
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("graph: BarabasiAlbert(%d, %d): need 1 <= m < n: %w",
+			n, m, ErrInvalidEdge)
+	}
+	mEdges := m * (m + 1) / 2 // seed clique
+	packed := make([]int64, 0, mEdges+(n-m-1)*m)
+	// targets lists each edge endpoint once, so uniform draws from it are
+	// degree-proportional ("repeated nodes" construction).
+	targets := make([]int32, 0, 2*cap(packed))
+	for u := 0; u <= m; u++ {
+		for w := u + 1; w <= m; w++ {
+			packed = append(packed, pack(u, w))
+			targets = append(targets, int32(u), int32(w))
+		}
+	}
+	// picked is a slice, not a set: map iteration order would leak
+	// nondeterminism into the edge stream and break seed reproducibility.
+	picked := make([]int32, 0, m)
+	for v := m + 1; v < n; v++ {
+		picked = picked[:0]
+		for len(picked) < m {
+			w := targets[r.Intn(len(targets))]
+			dup := false
+			for _, c := range picked {
+				if c == w {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picked = append(picked, w)
+			}
+		}
+		for _, w := range picked {
+			packed = append(packed, pack(v, int(w)))
+			targets = append(targets, int32(v), w)
+		}
+	}
+	return newDenseUnchecked(n, sortPacked(packed), fmt.Sprintf("ba-%d-m%d", n, m)), nil
 }
 
 // RandomRegular samples a uniform-ish random d-regular graph on n nodes via

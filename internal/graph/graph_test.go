@@ -2,6 +2,8 @@ package graph
 
 import (
 	"errors"
+	"math"
+	"reflect"
 	"testing"
 
 	"popgraph/internal/xrand"
@@ -159,6 +161,124 @@ func TestGeneratorsInvariantsAndCounts(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	r := xrand.New(3)
+	for _, beta := range []float64{0, 0.1, 1} {
+		g, err := WattsStrogatz(40, 4, beta, r)
+		if err != nil {
+			t.Fatalf("beta %v: %v", beta, err)
+		}
+		checkInvariants(t, g)
+		// Rewiring moves edges, never adds or removes: m = n·k/2 always.
+		if g.N() != 40 || g.M() != 80 {
+			t.Fatalf("beta %v: n=%d m=%d, want 40, 80", beta, g.N(), g.M())
+		}
+	}
+	// beta = 0 is exactly the ring lattice: deterministic, diameter n/k·…
+	// — node 0's neighbours are ±1, ±2 around the ring.
+	g, err := WattsStrogatz(10, 4, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{1: true, 2: true, 8: true, 9: true}
+	for i := 0; i < g.Degree(0); i++ {
+		if !want[g.NeighborAt(0, i)] {
+			t.Fatalf("lattice neighbour %d of node 0 unexpected", g.NeighborAt(0, i))
+		}
+	}
+}
+
+func TestWattsStrogatzValidation(t *testing.T) {
+	r := xrand.New(1)
+	cases := []struct {
+		name string
+		n, k int
+		beta float64
+	}{
+		{"odd-k", 10, 3, 0.1},
+		{"zero-k", 10, 0, 0.1},
+		{"k-too-big", 8, 8, 0.1},
+		{"tiny-n", 2, 2, 0.1},
+		{"beta-negative", 10, 4, -0.1},
+		{"beta-above-one", 10, 4, 1.5},
+		{"beta-nan", 10, 4, math.NaN()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := WattsStrogatz(c.n, c.k, c.beta, r); !errors.Is(err, ErrInvalidEdge) {
+				t.Fatalf("got %v, want ErrInvalidEdge", err)
+			}
+		})
+	}
+}
+
+func TestWattsStrogatzDeterministic(t *testing.T) {
+	build := func() *Dense {
+		g, err := WattsStrogatz(30, 4, 0.3, xrand.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.PackedEdges(), b.PackedEdges()) {
+		t.Fatal("same seed produced different Watts–Strogatz graphs")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	r := xrand.New(4)
+	g, err := BarabasiAlbert(50, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, g)
+	// Seed clique on m+1 nodes plus m edges per later node.
+	wantM := 3*4/2 + (50-4)*3
+	if g.N() != 50 || g.M() != wantM {
+		t.Fatalf("n=%d m=%d, want 50, %d", g.N(), g.M(), wantM)
+	}
+	// Preferential attachment produces hubs: the max degree must clearly
+	// exceed the minimum possible degree m.
+	if MaxDegree(g) < 3*3 {
+		t.Fatalf("max degree %d suspiciously flat for preferential attachment", MaxDegree(g))
+	}
+	if MinDegree(g) < 3 {
+		t.Fatalf("min degree %d below attachment count", MinDegree(g))
+	}
+	// m = n-1 edge case: every new node attaches to all predecessors.
+	k, err := BarabasiAlbert(5, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.M() != 10 {
+		t.Fatalf("ba(5,4) m=%d, want complete graph's 10", k.M())
+	}
+}
+
+func TestBarabasiAlbertValidation(t *testing.T) {
+	r := xrand.New(1)
+	for _, c := range [][2]int{{10, 0}, {5, 5}, {5, 6}, {1, 1}} {
+		if _, err := BarabasiAlbert(c[0], c[1], r); !errors.Is(err, ErrInvalidEdge) {
+			t.Fatalf("BarabasiAlbert(%d, %d): got %v, want ErrInvalidEdge", c[0], c[1], err)
+		}
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	build := func() *Dense {
+		g, err := BarabasiAlbert(40, 2, xrand.New(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.PackedEdges(), b.PackedEdges()) {
+		t.Fatal("same seed produced different Barabási–Albert graphs")
 	}
 }
 

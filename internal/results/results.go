@@ -27,6 +27,10 @@ type Record struct {
 	Graph string `json:"graph"`
 	N     int    `json:"n"`
 	M     int    `json:"m"`
+	// Scheduler is the interaction scheduler's display name ("uniform",
+	// "weighted:exp", "churn:64:16", ...); empty in records from
+	// producers predating the scheduler axis, which means uniform.
+	Scheduler string `json:"scheduler,omitempty"`
 	// Protocol is the protocol's display name.
 	Protocol string `json:"protocol"`
 	// Trial is the 0-based trial index within its configuration; Seed is
@@ -52,14 +56,15 @@ func (r Record) Failed() bool { return r.Error != "" }
 
 // Key identifies a record's configuration: one cell of a sweep grid.
 type Key struct {
-	Graph    string
-	Protocol string
-	DropRate float64
+	Graph     string
+	Scheduler string
+	Protocol  string
+	DropRate  float64
 }
 
 // Key returns the record's configuration key.
 func (r Record) Key() Key {
-	return Key{Graph: r.Graph, Protocol: r.Protocol, DropRate: r.DropRate}
+	return Key{Graph: r.Graph, Scheduler: r.Scheduler, Protocol: r.Protocol, DropRate: r.DropRate}
 }
 
 // Write encodes records as JSON Lines. The output is deterministic:
@@ -164,19 +169,23 @@ func Aggregate(recs []Record) []Group {
 // column.
 func SummaryTable(title string, groups []Group) *table.Table {
 	t := table.New(title,
-		"graph", "n", "m", "protocol", "drop", "steps(mean)", "±95%",
+		"graph", "n", "m", "sched", "protocol", "drop", "steps(mean)", "±95%",
 		"median", "max", "stab", "backup")
 	for _, g := range groups {
+		sched := g.Scheduler
+		if sched == "" {
+			sched = "uniform"
+		}
 		stab := fmt.Sprintf("%d/%d", g.Stabilized, g.Trials)
 		if g.Failed > 0 {
 			stab += fmt.Sprintf(" (%d err)", g.Failed)
 		}
 		if g.Stabilized == 0 {
-			t.AddRow(g.Graph, g.N, g.M, g.Protocol, g.DropRate,
+			t.AddRow(g.Graph, g.N, g.M, sched, g.Protocol, g.DropRate,
 				"—", "—", "—", "—", stab, g.BackupMean)
 			continue
 		}
-		t.AddRow(g.Graph, g.N, g.M, g.Protocol, g.DropRate,
+		t.AddRow(g.Graph, g.N, g.M, sched, g.Protocol, g.DropRate,
 			g.Steps.Mean, g.Steps.CI95(), g.Steps.Median, g.Steps.Max,
 			stab, g.BackupMean)
 	}

@@ -108,6 +108,49 @@ func TestSummaryTable(t *testing.T) {
 	}
 }
 
+// TestSchedulerSplitsGroupsAndRoundTrips: records differing only in
+// scheduler are distinct grid cells, the field survives the JSONL
+// round trip, and the table renders it — with records predating the
+// scheduler axis (empty field) displayed as uniform.
+func TestSchedulerSplitsGroupsAndRoundTrips(t *testing.T) {
+	recs := []Record{
+		{Graph: "torus-4x4", N: 16, M: 32, Scheduler: "uniform", Protocol: "six-state",
+			Trial: 0, Seed: 1, Steps: 500, Stabilized: true, Leader: 2},
+		{Graph: "torus-4x4", N: 16, M: 32, Scheduler: "weighted:exp", Protocol: "six-state",
+			Trial: 0, Seed: 1, Steps: 900, Stabilized: true, Leader: 5},
+		{Graph: "torus-4x4", N: 16, M: 32, Protocol: "six-state",
+			Trial: 0, Seed: 1, Steps: 700, Stabilized: true, Leader: 1},
+	}
+	groups := Aggregate(recs)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3 (scheduler must split cells)", len(groups))
+	}
+	var jsonl bytes.Buffer
+	if err := Write(&jsonl, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"scheduler":"weighted:exp"`) {
+		t.Fatalf("scheduler field missing from JSONL:\n%s", jsonl.String())
+	}
+	back, err := Read(&jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[1].Scheduler != "weighted:exp" || back[2].Scheduler != "" {
+		t.Fatalf("round-tripped schedulers %q, %q", back[1].Scheduler, back[2].Scheduler)
+	}
+	var buf bytes.Buffer
+	SummaryTable("scheds", groups).WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "sched") || !strings.Contains(out, "weighted:exp") {
+		t.Fatalf("table missing scheduler column:\n%s", out)
+	}
+	// The legacy record (empty scheduler) renders as uniform.
+	if strings.Count(out, "uniform") != 2 {
+		t.Fatalf("want 2 uniform rows (explicit + legacy), got:\n%s", out)
+	}
+}
+
 // TestSummaryTableNoStabilizedRendersDash: a configuration where every
 // trial hit the step cap used to print steps(mean)=0, which read as
 // instant stabilization; it must render "—" markers instead.

@@ -1,0 +1,275 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/beauquier"
+	. "popgraph/internal/sim"
+	"popgraph/internal/xrand"
+)
+
+// TestUniformSchedulerIsIdentity: plugging in Uniform{} explicitly must
+// be byte-identical to leaving Options.Scheduler nil — same Result, same
+// post-run generator state — on both fast-loop representations, so the
+// scheduler refactor is invisible to every existing caller.
+func TestUniformSchedulerIsIdentity(t *testing.T) {
+	// Graph-less and graph-bound, by value and by pointer, must all be
+	// recognized — pointer schedulers are natural since every other
+	// constructor returns one.
+	for _, sched := range []Scheduler{Uniform{}, &Uniform{}, Uniform{G: graph.NewClique(16)}} {
+		for _, g := range []graph.Graph{graph.NewClique(16), graph.Torus2D(3, 5)} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				rNil := xrand.New(seed)
+				rUni := xrand.New(seed)
+				resNil := Run(g, beauquier.New(), rNil, Options{MaxSteps: 5000})
+				resUni := Run(g, beauquier.New(), rUni, Options{MaxSteps: 5000, Scheduler: sched})
+				if resNil != resUni {
+					t.Fatalf("%s seed %d: nil %+v != Uniform %+v", g.Name(), seed, resNil, resUni)
+				}
+				for i := 0; i < 16; i++ {
+					if a, b := rNil.Uint64(), rUni.Uint64(); a != b {
+						t.Fatalf("%s seed %d: post-run streams diverged at draw %d", g.Name(), seed, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWeightedFrequencies: a weighted scheduler on a path with rates
+// 1:3 must deliver the heavy edge three times as often, with the
+// initiator direction split evenly.
+func TestWeightedFrequencies(t *testing.T) {
+	g := graph.Path(3) // edges (0,1) and (1,2) in ForEachEdge order
+	s, err := NewWeighted(g, "weighted:test", []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "weighted:test" {
+		t.Fatalf("name %q", s.Name())
+	}
+	r := xrand.New(11)
+	src := s.Begin(r)
+	const draws = 100000
+	edgeCount := map[[2]int]int{}
+	for i := int64(1); i <= draws; i++ {
+		u, v, ok := src.Next(i, r)
+		if !ok {
+			t.Fatal("weighted scheduler suppressed a contact")
+		}
+		edgeCount[[2]int{u, v}]++
+	}
+	light := float64(edgeCount[[2]int{0, 1}] + edgeCount[[2]int{1, 0}])
+	heavy := float64(edgeCount[[2]int{1, 2}] + edgeCount[[2]int{2, 1}])
+	if ratio := heavy / light; math.Abs(ratio-3) > 0.15 {
+		t.Fatalf("heavy/light ratio %.3f, want ~3", ratio)
+	}
+	fwd := float64(edgeCount[[2]int{1, 2}])
+	if split := fwd / heavy; math.Abs(split-0.5) > 0.02 {
+		t.Fatalf("direction split %.3f, want ~0.5", split)
+	}
+}
+
+// TestUniformBeginHonorsContract: a graph-bound Uniform is a complete
+// Scheduler for generic callers that drive Begin/Next themselves —
+// its Source delivers the graph's own SampleEdge stream.
+func TestUniformBeginHonorsContract(t *testing.T) {
+	g := graph.Torus2D(3, 4)
+	src := Uniform{G: g}.Begin(xrand.New(1))
+	rSrc := xrand.New(8)
+	rRef := xrand.New(8)
+	for t2 := int64(1); t2 <= 200; t2++ {
+		u, v, ok := src.Next(t2, rSrc)
+		ru, rv := g.SampleEdge(rRef)
+		if !ok || u != ru || v != rv {
+			t.Fatalf("step %d: source (%d,%d,%v) != SampleEdge (%d,%d)", t2, u, v, ok, ru, rv)
+		}
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	g := graph.Path(3)
+	cases := []struct {
+		name  string
+		rates []float64
+	}{
+		{"wrong-length", []float64{1}},
+		{"negative", []float64{1, -2}},
+		{"nan", []float64{1, math.NaN()}},
+		{"all-zero", []float64{0, 0}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewWeighted(g, "w", c.rates); err == nil {
+				t.Fatalf("rates %v accepted", c.rates)
+			}
+		})
+	}
+}
+
+// TestNodeClockMatchesUniformDistribution: picking a node proportionally
+// to degree and then a uniform neighbor induces the uniform distribution
+// over ordered adjacent pairs (deg(u)/2m · 1/deg(u) = 1/2m); check it
+// empirically on a star, whose degrees are maximally skewed.
+func TestNodeClockMatchesUniformDistribution(t *testing.T) {
+	g := graph.Star(5) // 2m = 8 ordered pairs
+	s, err := NewNodeClock(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "node-clock" {
+		t.Fatalf("name %q", s.Name())
+	}
+	r := xrand.New(3)
+	src := s.Begin(r)
+	const draws = 80000
+	count := map[[2]int]int{}
+	for i := int64(1); i <= draws; i++ {
+		u, v, ok := src.Next(i, r)
+		if !ok {
+			t.Fatal("node-clock scheduler suppressed a contact")
+		}
+		count[[2]int{u, v}]++
+	}
+	want := 1.0 / float64(2*g.M())
+	if len(count) != 2*g.M() {
+		t.Fatalf("saw %d ordered pairs, want %d", len(count), 2*g.M())
+	}
+	for pair, c := range count {
+		got := float64(c) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("pair %v: frequency %.4f, want %.4f", pair, got, want)
+		}
+	}
+}
+
+// TestChurnStationaryAndBursts: on a single-edge graph the edge's on/off
+// chain advances every step, so the suppressed fraction must match the
+// stationary down probability DownLen/(UpLen+DownLen) and the mean
+// length of consecutive suppressed runs must match DownLen.
+func TestChurnStationaryAndBursts(t *testing.T) {
+	g := graph.Path(2)
+	s, err := NewChurn(g, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "churn:8:4" {
+		t.Fatalf("name %q", s.Name())
+	}
+	r := xrand.New(21)
+	src := s.Begin(r)
+	const draws = 200000
+	down, bursts, runLen := 0, 0, 0
+	for i := int64(1); i <= draws; i++ {
+		_, _, ok := src.Next(i, r)
+		if !ok {
+			down++
+			runLen++
+		} else if runLen > 0 {
+			bursts++
+			runLen = 0
+		}
+	}
+	wantDown := 4.0 / 12.0
+	if got := float64(down) / draws; math.Abs(got-wantDown) > 0.02 {
+		t.Fatalf("down fraction %.4f, want ~%.4f", got, wantDown)
+	}
+	if bursts == 0 {
+		t.Fatal("no down bursts observed")
+	}
+	if mean := float64(down) / float64(bursts); math.Abs(mean-4) > 0.5 {
+		t.Fatalf("mean down-burst length %.2f, want ~4", mean)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	g := graph.Path(2)
+	for _, c := range [][2]float64{{0.5, 4}, {8, 0}, {8, math.NaN()}, {math.Inf(1), 4}} {
+		if _, err := NewChurn(g, c[0], c[1]); err == nil {
+			t.Fatalf("burst lengths %v accepted", c)
+		}
+	}
+}
+
+// TestChurnFreshStatePerRun: Begin must return an independent source per
+// run, so two runs from the same seed replay identically even when
+// sharing one Churn value (as sweep grid cells do across trials).
+func TestChurnFreshStatePerRun(t *testing.T) {
+	g := graph.NewClique(8)
+	s, err := NewChurn(g, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := func() []bool {
+		r := xrand.New(5)
+		src := s.Begin(r)
+		out := make([]bool, 500)
+		for i := range out {
+			_, _, out[i] = src.Next(int64(i+1), r)
+		}
+		return out
+	}
+	a, b := replay(), replay()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at step %d", i)
+		}
+	}
+}
+
+// TestSchedulersRunDeterministic: a full Run under every non-uniform
+// scheduler stabilizes (suppressed contacts only delay a
+// schedule-oblivious protocol) and reproduces exactly for a fixed seed.
+func TestSchedulersRunDeterministic(t *testing.T) {
+	g := graph.Torus2D(3, 4)
+	rates := make([]float64, g.M())
+	for i := range rates {
+		rates[i] = float64(1 + i%5)
+	}
+	weighted, err := NewWeighted(g, "weighted:ramp", rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeClock, err := NewNodeClock(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := NewChurn(g, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []Scheduler{weighted, nodeClock, churn} {
+		run := func() Result {
+			return Run(g, beauquier.New(), xrand.New(13), Options{Scheduler: sched})
+		}
+		res := run()
+		if !res.Stabilized {
+			t.Fatalf("%s: did not stabilize", sched.Name())
+		}
+		if again := run(); res != again {
+			t.Fatalf("%s: runs diverged: %+v vs %+v", sched.Name(), res, again)
+		}
+	}
+}
+
+// TestChurnComposesWithDropRate: churn suppression and i.i.d. drops
+// stack; the run still stabilizes and stays deterministic.
+func TestChurnComposesWithDropRate(t *testing.T) {
+	g := graph.NewClique(12)
+	s, err := NewChurn(g, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() Result {
+		return Run(g, beauquier.New(), xrand.New(2), Options{Scheduler: s, DropRate: 0.3})
+	}
+	res := run()
+	if !res.Stabilized {
+		t.Fatal("churn + drop run did not stabilize")
+	}
+	if again := run(); res != again {
+		t.Fatalf("runs diverged: %+v vs %+v", res, again)
+	}
+}

@@ -1,11 +1,14 @@
 // Package sim provides the population-protocol execution engine: the
-// uniform random-pair scheduler loop, the Protocol interface implemented
-// by every protocol in internal/protocols, stabilization detection and
-// optional observers for instrumentation.
+// scheduler loop with pluggable interaction-selection policies, the
+// Protocol interface implemented by every protocol in internal/protocols,
+// stabilization detection and optional observers for instrumentation.
 //
 // A time step, as in the paper, is one pairwise interaction: the scheduler
 // samples an ordered pair (u, v) of adjacent nodes uniformly among all 2m
-// ordered pairs, u interacting as initiator and v as responder.
+// ordered pairs, u interacting as initiator and v as responder. Beyond
+// that default, Options.Scheduler plugs in alternative policies —
+// weighted per-edge rates, degree-proportional node clocks, bursty link
+// churn (see scheduler.go) — for scenario diversity experiments.
 //
 // Uninstrumented runs on the concrete graph types take type-specialized
 // block-sampling hot loops (see engine.go) that are substantially faster
@@ -83,7 +86,13 @@ type Observer interface {
 type Options struct {
 	// MaxSteps caps the run; 0 means DefaultMaxSteps(n).
 	MaxSteps int64
-	// Sampler overrides the graph's scheduler (tests only).
+	// Scheduler selects the interaction policy (see scheduler.go); nil
+	// and Uniform{} both mean the paper's uniform pairwise scheduler,
+	// which keeps the type-specialized fast loops engaged. Schedulers
+	// must be built for the same graph passed to Run.
+	Scheduler Scheduler
+	// Sampler overrides the pair stream directly (tests and the
+	// benchmark's reference loop); it takes precedence over Scheduler.
 	Sampler EdgeSampler
 	// Observer, if non-nil, is called every ObserveEvery steps.
 	Observer     Observer
@@ -142,51 +151,71 @@ func Run(g graph.Graph, p Protocol, r *xrand.Rand, opts Options) Result {
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps(g.N())
 	}
-	var sampler EdgeSampler = g
-	if opts.Sampler != nil {
-		sampler = opts.Sampler
-	}
 	if opts.DropRate < 0 || opts.DropRate >= 1 {
 		panic(fmt.Sprintf("sim: drop rate %v outside [0, 1)", opts.DropRate))
 	}
-	if opts.Observer != nil || opts.DropRate > 0 {
-		return runSlowPath(g, p, r, sampler, maxSteps, opts)
+	// The uniform policy (nil or Uniform{}) is the graph's own
+	// SampleEdge distribution; non-uniform schedulers route through the
+	// Source-based slow path below.
+	sched := opts.Scheduler
+	switch sched.(type) {
+	case Uniform, *Uniform:
+		sched = nil
 	}
-	// Uninstrumented runs on the concrete graph representations take the
-	// type-specialized block-sampling loops (engine.go); they consume the
-	// identical random stream, so the Result is byte-identical to the
-	// generic loop below. An explicit opts.Sampler always forces the
-	// generic loop, which equivalence tests use as the reference.
-	if opts.Sampler == nil {
-		switch cg := g.(type) {
-		case *graph.Dense:
-			return runDense(cg, p, r, maxSteps)
-		case graph.Clique:
-			return runClique(cg, p, r, maxSteps)
+	if opts.Observer == nil && opts.DropRate == 0 && (sched == nil || opts.Sampler != nil) {
+		// Uninstrumented uniform runs on the concrete graph
+		// representations take the type-specialized block-sampling loops
+		// (engine.go); they consume the identical random stream, so the
+		// Result is byte-identical to the generic loop below. An explicit
+		// opts.Sampler always forces the generic loop, which equivalence
+		// tests and the benchmark use as the reference.
+		if opts.Sampler == nil {
+			switch cg := g.(type) {
+			case *graph.Dense:
+				return runDense(cg, p, r, maxSteps)
+			case graph.Clique:
+				return runClique(cg, p, r, maxSteps)
+			}
 		}
-	}
-	for t := int64(1); t <= maxSteps; t++ {
-		u, v := sampler.SampleEdge(r)
-		p.Step(u, v)
-		if p.Stable() {
-			return Result{Steps: t, Stabilized: true, Leader: FindLeader(g, p)}
+		sampler := EdgeSampler(g)
+		if opts.Sampler != nil {
+			sampler = opts.Sampler
 		}
+		for t := int64(1); t <= maxSteps; t++ {
+			u, v := sampler.SampleEdge(r)
+			p.Step(u, v)
+			if p.Stable() {
+				return Result{Steps: t, Stabilized: true, Leader: FindLeader(g, p)}
+			}
+		}
+		return Result{Steps: maxSteps, Stabilized: false, Leader: -1}
 	}
-	return Result{Steps: maxSteps, Stabilized: false, Leader: -1}
+	var src Source
+	switch {
+	case opts.Sampler != nil:
+		src = samplerSource{opts.Sampler}
+	case sched != nil:
+		src = sched.Begin(r)
+	default:
+		src = samplerSource{g}
+	}
+	return runSlowPath(g, p, r, src, maxSteps, opts)
 }
 
-// runSlowPath is the instrumented variant of the hot loop (observers
-// and/or failure injection), kept separate so the common path stays
-// branch-light.
-func runSlowPath(g graph.Graph, p Protocol, r *xrand.Rand, sampler EdgeSampler,
+// runSlowPath is the instrumented variant of the hot loop (non-uniform
+// schedulers, observers and/or failure injection), kept separate so the
+// common path stays branch-light. For uniform runs the source wraps the
+// graph's SampleEdge and delivers every contact, so the random stream
+// matches the branch-light loop draw for draw.
+func runSlowPath(g graph.Graph, p Protocol, r *xrand.Rand, src Source,
 	maxSteps int64, opts Options) Result {
 	every := opts.ObserveEvery
 	if every <= 0 {
 		every = 1
 	}
 	for t := int64(1); t <= maxSteps; t++ {
-		u, v := sampler.SampleEdge(r)
-		if opts.DropRate == 0 || r.Float64() >= opts.DropRate {
+		u, v, ok := src.Next(t, r)
+		if ok && (opts.DropRate == 0 || r.Float64() >= opts.DropRate) {
 			p.Step(u, v)
 		}
 		if opts.Observer != nil && t%every == 0 {

@@ -1,7 +1,7 @@
 // Package sweep turns a declarative experiment grid — graph spec
-// templates × size ladder × protocols × drop rates — into a batch of
-// deterministic trials for internal/runner, and its outcomes into
-// internal/results records.
+// templates × size ladder × schedulers × protocols × drop rates — into a
+// batch of deterministic trials for internal/runner, and its outcomes
+// into internal/results records.
 //
 // A spec is either assembled from CLI flags (cmd/sweep) or parsed from a
 // JSON file:
@@ -12,6 +12,7 @@
 //	  "trials": 5,
 //	  "graphs": ["clique:N", "cycle:N", "torus:NxN"],
 //	  "sizes": [16, 32],
+//	  "schedulers": ["uniform", "weighted:exp", "churn:64:16"],
 //	  "protocols": ["six-state", "identifier", "fast"],
 //	  "drop_rates": [0, 0.25]
 //	}
@@ -19,9 +20,11 @@
 // Graph templates use the popgraph.ParseGraph grammar with the literal
 // letter N standing for a rung of the size ladder ("torus:NxN" becomes
 // "torus:16x16"); templates without an N are fixed graphs, used once.
-// Every trial's seed is derived from the spec seed, the cell's position
-// in the grid and the trial index, so results are independent of worker
-// count and identical across runs.
+// Schedulers use the popgraph.ParseScheduler grammar; omitting the axis
+// means the paper's uniform scheduler. Every trial's seed is derived
+// from the spec seed, the cell's position in the grid and the trial
+// index, so results are independent of worker count and identical
+// across runs.
 package sweep
 
 import (
@@ -52,6 +55,9 @@ type Spec struct {
 	Graphs []string `json:"graphs"`
 	// Sizes is the size ladder substituted into templates containing N.
 	Sizes []int `json:"sizes,omitempty"`
+	// Schedulers are ParseScheduler specs; empty means the single
+	// uniform scheduler.
+	Schedulers []string `json:"schedulers,omitempty"`
 	// Protocols are ParseProtocol specs.
 	Protocols []string `json:"protocols"`
 	// DropRates are interaction-failure probabilities in [0, 1); empty
@@ -61,14 +67,26 @@ type Spec struct {
 	MaxSteps int64 `json:"max_steps,omitempty"`
 }
 
-// ParseJSON decodes and validates a spec from JSON. Unknown fields are
-// rejected to catch typos in hand-written spec files.
+// ParseJSON decodes and validates a spec from JSON. Unknown top-level
+// keys are rejected with an error naming the key (catching typos like
+// "grahps" in hand-written spec files), as is trailing content after
+// the spec object.
 func ParseJSON(data []byte) (Spec, error) {
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
+		// The stdlib reports unknown fields as `json: unknown field "x"`;
+		// rewrap with the valid key set so the typo is obvious.
+		if key, ok := strings.CutPrefix(err.Error(), `json: unknown field `); ok {
+			return Spec{}, fmt.Errorf(
+				"sweep: spec has unknown key %s (valid keys: name, seed, trials, graphs, sizes, schedulers, protocols, drop_rates, max_steps)",
+				key)
+		}
 		return Spec{}, fmt.Errorf("sweep: parsing spec: %w", err)
+	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("sweep: trailing content after the spec object")
 	}
 	if err := s.Validate(); err != nil {
 		return Spec{}, err
@@ -107,6 +125,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("sweep: drop rate %v outside [0, 1)", q)
 		}
 	}
+	for _, spec := range s.Schedulers {
+		if strings.TrimSpace(spec) == "" {
+			return fmt.Errorf("sweep: empty scheduler spec")
+		}
+	}
 	if s.MaxSteps < 0 {
 		return fmt.Errorf("sweep: negative max_steps")
 	}
@@ -138,12 +161,24 @@ func (s Spec) dropRates() []float64 {
 	return s.DropRates
 }
 
-// Task is one grid cell: a fixed graph, protocol and drop rate with its
-// per-trial jobs (seeds already derived).
+// schedulers returns the scheduler axis, defaulting to {"uniform"}.
+func (s Spec) schedulers() []string {
+	if len(s.Schedulers) == 0 {
+		return []string{"uniform"}
+	}
+	return s.Schedulers
+}
+
+// Task is one grid cell: a fixed graph, scheduler, protocol and drop
+// rate with its per-trial jobs (seeds already derived).
 type Task struct {
 	// GraphSpec is the expanded ParseGraph spec the graph was built from.
 	GraphSpec string
 	Graph     graph.Graph
+	// SchedSpec is the ParseScheduler spec; Scheduler is the instance's
+	// display name (they differ for shorthands like "weighted").
+	SchedSpec string
+	Scheduler string
 	// ProtoSpec is the ParseProtocol spec; Protocol is the instance's
 	// display name.
 	ProtoSpec string
@@ -163,9 +198,10 @@ func mix(base uint64, i int) uint64 {
 }
 
 // Build materializes the grid: graphs are constructed once per expanded
-// spec (random families draw from a seed derived from the graph's grid
-// position, so every protocol and drop rate sees the same instance), and
-// each cell gets Trials jobs with deterministic seeds.
+// spec and schedulers once per graph × scheduler spec (random families
+// and random edge rates draw from a seed derived from the grid
+// position, so every protocol and drop rate sees the same instance),
+// and each cell gets Trials jobs with deterministic seeds.
 func (s Spec) Build() ([]Task, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -179,27 +215,37 @@ func (s Spec) Build() ([]Task, error) {
 		}
 		graphs[gi] = g
 	}
+	scheds := s.schedulers()
 	var tasks []Task
 	cell := 0
 	for gi, g := range graphs {
-		for _, proto := range s.Protocols {
-			factory, err := popgraph.ProtocolFactory(proto, g,
-				xrand.New(mix(s.Seed^0x5ca1ab1e, gi)))
+		for si, schedSpec := range scheds {
+			sched, err := popgraph.ParseScheduler(schedSpec, g,
+				xrand.New(mix(s.Seed^0x5eedca11, gi*len(scheds)+si)))
 			if err != nil {
 				return nil, err
 			}
-			name := factory().Name()
-			for _, q := range s.dropRates() {
-				opts := sim.Options{MaxSteps: s.MaxSteps, DropRate: q}
-				tasks = append(tasks, Task{
-					GraphSpec: specs[gi],
-					Graph:     g,
-					ProtoSpec: proto,
-					Protocol:  name,
-					DropRate:  q,
-					Jobs:      runner.TrialJobs(g, factory, mix(s.Seed, cell+len(specs)), s.Trials, opts),
-				})
-				cell++
+			for _, proto := range s.Protocols {
+				factory, err := popgraph.ProtocolFactory(proto, g,
+					xrand.New(mix(s.Seed^0x5ca1ab1e, gi)))
+				if err != nil {
+					return nil, err
+				}
+				name := factory().Name()
+				for _, q := range s.dropRates() {
+					opts := sim.Options{MaxSteps: s.MaxSteps, DropRate: q, Scheduler: sched}
+					tasks = append(tasks, Task{
+						GraphSpec: specs[gi],
+						Graph:     g,
+						SchedSpec: schedSpec,
+						Scheduler: sched.Name(),
+						ProtoSpec: proto,
+						Protocol:  name,
+						DropRate:  q,
+						Jobs:      runner.TrialJobs(g, factory, mix(s.Seed, cell+len(specs)), s.Trials, opts),
+					})
+					cell++
+				}
 			}
 		}
 	}
@@ -233,6 +279,7 @@ func Execute(tasks []Task, pool runner.Pool) []results.Record {
 				Graph:      t.Graph.Name(),
 				N:          t.Graph.N(),
 				M:          t.Graph.M(),
+				Scheduler:  t.Scheduler,
 				Protocol:   t.Protocol,
 				Trial:      trial,
 				Seed:       t.Jobs[trial].Seed,

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 
 	"popgraph/internal/results"
@@ -43,6 +44,31 @@ func TestParseJSONRejectsUnknownFields(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown field accepted")
 	}
+	// The error must name the offending key and the valid key set, so a
+	// typo in a hand-written spec is a one-glance fix.
+	for _, want := range []string{`"grahps"`, "graphs", "schedulers"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+func TestParseJSONRejectsTrailingContent(t *testing.T) {
+	_, err := ParseJSON([]byte(`{"seed": 1, "trials": 1, "graphs": ["clique:8"], "protocols": ["six-state"]}{"seed": 2}`))
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing content: %v", err)
+	}
+}
+
+func TestParseJSONSchedulers(t *testing.T) {
+	spec, err := ParseJSON([]byte(`{"seed": 1, "trials": 1, "graphs": ["clique:8"],
+		"schedulers": ["uniform", "weighted:exp"], "protocols": ["six-state"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Schedulers) != 2 {
+		t.Fatalf("schedulers %v", spec.Schedulers)
+	}
 }
 
 func TestValidate(t *testing.T) {
@@ -57,6 +83,7 @@ func TestValidate(t *testing.T) {
 		{"tiny size", func(s *Spec) { s.Sizes = []int{1} }},
 		{"bad drop", func(s *Spec) { s.DropRates = []float64{1} }},
 		{"negative cap", func(s *Spec) { s.MaxSteps = -1 }},
+		{"blank scheduler", func(s *Spec) { s.Schedulers = []string{"uniform", " "} }},
 	}
 	for _, c := range cases {
 		s := smokeSpec()
@@ -143,17 +170,76 @@ func TestBuildRejectsBadSpecs(t *testing.T) {
 	if _, err := s.Build(); err == nil {
 		t.Fatal("bad protocol accepted")
 	}
+	s = smokeSpec()
+	s.Schedulers = []string{"no-such-scheduler"}
+	if _, err := s.Build(); err == nil {
+		t.Fatal("bad scheduler accepted")
+	}
+}
+
+// TestBuildSchedulerAxis: the scheduler axis multiplies the grid, every
+// task carries its scheduler's display name, and the weighted
+// scheduler's random edge rates are constructed once per graph ×
+// scheduler cell (deterministically), not once per trial.
+func TestBuildSchedulerAxis(t *testing.T) {
+	s := Spec{
+		Seed:   3,
+		Trials: 2,
+		Graphs: []string{"cycle:12"},
+		Schedulers: []string{
+			"uniform", "weighted:exp", "node-clock", "churn:8:2",
+		},
+		Protocols: []string{"six-state"},
+	}
+	tasks, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 4 {
+		t.Fatalf("built %d tasks, want 4", len(tasks))
+	}
+	wantNames := []string{"uniform", "weighted:exp", "node-clock", "churn:8:2"}
+	for i, task := range tasks {
+		if task.Scheduler != wantNames[i] {
+			t.Fatalf("task %d scheduler %q, want %q", i, task.Scheduler, wantNames[i])
+		}
+		if task.SchedSpec != s.Schedulers[i] {
+			t.Fatalf("task %d spec %q", i, task.SchedSpec)
+		}
+		for _, j := range task.Jobs {
+			if j.Opts.Scheduler == nil {
+				t.Fatalf("task %d jobs lack the scheduler option", i)
+			}
+		}
+	}
+	// Rebuilding yields the same weighted instance behaviourally: same
+	// seeds, same scheduler names, same job count.
+	again, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tasks {
+		if tasks[i].Scheduler != again[i].Scheduler ||
+			tasks[i].Jobs[0].Seed != again[i].Jobs[0].Seed {
+			t.Fatalf("rebuild diverged at task %d", i)
+		}
+	}
 }
 
 // TestExecuteByteIdenticalAcrossWorkerCounts is the subsystem's core
 // guarantee: the JSONL log is byte-identical at one worker and at
-// NumCPU workers for the same spec and seed.
+// NumCPU workers for the same spec and seed — including over every
+// scheduler (stateful churn sources and random weighted rates must not
+// leak scheduling order into results).
 func TestExecuteByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	s := Spec{
-		Seed:      2022,
-		Trials:    4,
-		Graphs:    []string{"clique:N", "cycle:N", "star:N"},
-		Sizes:     []int{8, 12},
+		Seed:   2022,
+		Trials: 4,
+		Graphs: []string{"clique:N", "cycle:N", "star:N"},
+		Sizes:  []int{8, 12},
+		Schedulers: []string{
+			"uniform", "weighted:exp", "weighted:degprod", "node-clock", "churn:8:2",
+		},
 		Protocols: []string{"six-state"},
 		DropRates: []float64{0, 0.25},
 	}
@@ -181,10 +267,16 @@ func TestExecuteByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 3*2*2*4 {
-		t.Fatalf("decoded %d records, want 48", len(recs))
+	// 6 graphs × 5 schedulers × 2 drop rates × 4 trials.
+	if len(recs) != 6*5*2*4 {
+		t.Fatalf("decoded %d records, want %d", len(recs), 6*5*2*4)
 	}
-	if got := len(results.Aggregate(recs)); got != 12 {
-		t.Fatalf("aggregated into %d groups, want 12", got)
+	for i := range recs {
+		if recs[i].Scheduler == "" {
+			t.Fatalf("record %d lacks a scheduler name", i)
+		}
+	}
+	if got := len(results.Aggregate(recs)); got != 6*5*2 {
+		t.Fatalf("aggregated into %d groups, want %d", got, 6*5*2)
 	}
 }

@@ -16,7 +16,14 @@
 //
 //   - graph families: cliques, cycles, paths, stars, tori, grids,
 //     hypercubes, trees, lollipops, barbells, Erdős–Rényi G(n,p), random
-//     regular graphs, and the paper's renitent lower-bound constructions;
+//     regular graphs, Watts–Strogatz small worlds, Barabási–Albert
+//     preferential attachment, and the paper's renitent lower-bound
+//     constructions;
+//   - pluggable interaction schedulers beyond the paper's uniform
+//     pairwise model: weighted per-edge contact rates, asynchronous
+//     degree-proportional node clocks, and bursty link churn (see
+//     Scheduler and ParseScheduler); the uniform default keeps the
+//     type-specialized fast loops engaged;
 //   - the three protocols of the paper: the constant-state six-state
 //     token protocol (Theorem 16), the identifier protocol with O(n⁴)
 //     states and O(B(G)+n log n) time (Theorem 21), and the fast
@@ -52,6 +59,7 @@ package popgraph
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -113,6 +121,20 @@ func Barbell(k, pathLen int) Graph { return graph.Barbell(k, pathLen) }
 // Gnp samples an Erdős–Rényi graph G(n, p) conditioned on connectivity.
 func Gnp(n int, p float64, r *Rand) (Graph, error) { return graph.Gnp(n, p, r) }
 
+// WattsStrogatz samples a small-world graph: a ring lattice with k
+// neighbors per node (k even), each edge rewired with probability beta,
+// conditioned on connectivity. Edge count is always n·k/2.
+func WattsStrogatz(n, k int, beta float64, r *Rand) (Graph, error) {
+	return graph.WattsStrogatz(n, k, beta, r)
+}
+
+// BarabasiAlbert samples a preferential-attachment graph: each new node
+// attaches m edges to existing nodes proportionally to degree, growing
+// power-law hubs. Connected by construction (1 <= m < n).
+func BarabasiAlbert(n, m int, r *Rand) (Graph, error) {
+	return graph.BarabasiAlbert(n, m, r)
+}
+
 // RandomRegular samples a random d-regular graph conditioned on
 // connectivity (3 <= d < n, n·d even).
 func RandomRegular(n, d int, r *Rand) (Graph, error) { return graph.RandomRegular(n, d, r) }
@@ -131,9 +153,9 @@ func MinDegree(g Graph) int { return graph.MinDegree(g) }
 // tools and handy in tests:
 //
 //	clique:N  cycle:N  path:N  star:N  hypercube:D  torus:RxC  grid:RxC
-//	lollipop:K:P  barbell:K:P  gnp:N:P  regular:N:D
+//	lollipop:K:P  barbell:K:P  gnp:N:P  regular:N:D  ws:N:K:BETA  ba:N:M
 //
-// Random families consume randomness from r.
+// Random families (gnp, regular, ws, ba) consume randomness from r.
 //
 // Specs whose parameters are out of range for the family (e.g.
 // "cycle:2", "hypercube:0", "torus:2x5", negative sizes) return an
@@ -211,7 +233,7 @@ func ParseGraph(spec string, r *Rand) (Graph, error) {
 			return nil, fmt.Errorf("popgraph: bad graph spec %q: %w", spec, err)
 		}
 		return g, nil
-	case "regular":
+	case "regular", "ba":
 		if len(parts) != 3 {
 			return nil, argErr()
 		}
@@ -220,7 +242,30 @@ func ParseGraph(spec string, r *Rand) (Graph, error) {
 		if err1 != nil || err2 != nil {
 			return nil, argErr()
 		}
-		g, err := RandomRegular(n, d, r)
+		var (
+			g   Graph
+			err error
+		)
+		if kind == "regular" {
+			g, err = RandomRegular(n, d, r)
+		} else {
+			g, err = BarabasiAlbert(n, d, r)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("popgraph: bad graph spec %q: %w", spec, err)
+		}
+		return g, nil
+	case "ws":
+		if len(parts) != 4 {
+			return nil, argErr()
+		}
+		n, err1 := atoi(parts[1])
+		k, err2 := atoi(parts[2])
+		beta, err3 := strconv.ParseFloat(parts[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, argErr()
+		}
+		g, err := WattsStrogatz(n, k, beta, r)
 		if err != nil {
 			return nil, fmt.Errorf("popgraph: bad graph spec %q: %w", spec, err)
 		}
@@ -240,6 +285,126 @@ func buildGraph(spec string, build func() Graph) (g Graph, err error) {
 		}
 	}()
 	return build(), nil
+}
+
+// Scheduler is an interaction-selection policy plugged into a run via
+// Options.Scheduler: which ordered pair of adjacent nodes interacts at
+// each step, and whether a sampled contact is suppressed (link churn).
+// nil and the uniform scheduler mean the paper's model — ordered pairs
+// uniform among all 2m — and keep the type-specialized fast loops
+// engaged. Schedulers must be built for the same graph passed to Run;
+// build them with the constructors below or ParseScheduler.
+type Scheduler = sim.Scheduler
+
+// NewUniformScheduler returns the paper's uniform pairwise scheduler
+// for g, equivalent to leaving Options.Scheduler nil (byte-identical
+// results and random stream).
+func NewUniformScheduler(g Graph) Scheduler { return sim.Uniform{G: g} }
+
+// NewWeightedScheduler returns a scheduler sampling undirected edges
+// proportionally to rates (one nonnegative rate per edge in ForEachEdge
+// order, positive sum) via an alias table, orienting each pair with a
+// fair coin. name labels the policy in result logs.
+func NewWeightedScheduler(g Graph, name string, rates []float64) (Scheduler, error) {
+	return sim.NewWeighted(g, name, rates)
+}
+
+// NewNodeClockScheduler returns the asynchronous-clock scheduler: an
+// initiator is drawn proportionally to degree, then a uniform neighbor
+// responds. The induced pair distribution equals the uniform
+// scheduler's, realized through a node-centric draw sequence.
+func NewNodeClockScheduler(g Graph) (Scheduler, error) { return sim.NewNodeClock(g) }
+
+// NewChurnScheduler returns a link-churn scheduler: pairs are sampled
+// uniformly, but every edge independently alternates between up and
+// down states with geometric bursts of mean upLen and downLen steps
+// (both >= 1); contacts over down edges are suppressed but still count
+// as steps.
+func NewChurnScheduler(g Graph, upLen, downLen float64) (Scheduler, error) {
+	return sim.NewChurn(g, upLen, downLen)
+}
+
+// ParseScheduler builds a scheduler for g from a compact spec string,
+// mirroring ParseGraph for the scheduler axis of sweeps and CLIs:
+//
+//	uniform                  the paper's model (the default everywhere)
+//	weighted | weighted:exp  i.i.d. Exp(1) per-edge rates drawn from r
+//	weighted:degprod         rate of {u,w} = deg(u)·deg(w)
+//	node-clock               degree-proportional initiator clocks
+//	churn:UP:DOWN            edges flap; mean up/down burst lengths (>= 1)
+//
+// Bad specs return an error naming the spec; ParseScheduler never
+// panics on CLI input.
+func ParseScheduler(spec string, g Graph, r *Rand) (Scheduler, error) {
+	argErr := func(reason string) error {
+		if reason == "" {
+			return fmt.Errorf("popgraph: bad scheduler spec %q (want uniform | weighted[:exp|:degprod] | node-clock | churn:UP:DOWN)", spec)
+		}
+		return fmt.Errorf("popgraph: bad scheduler spec %q: %s", spec, reason)
+	}
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "uniform":
+		if len(parts) != 1 {
+			return nil, argErr("")
+		}
+		return sim.Uniform{G: g}, nil
+	case "weighted":
+		model := "exp"
+		if len(parts) == 2 {
+			model = parts[1]
+		} else if len(parts) != 1 {
+			return nil, argErr("")
+		}
+		rates := make([]float64, 0, g.M())
+		switch model {
+		case "exp":
+			// i.i.d. exponential contact rates: heterogeneous but
+			// memoryless, the standard heterogeneous-rates model. Drawn
+			// from r at construction, so a sweep cell's instance is fixed
+			// across trials.
+			for i := 0; i < g.M(); i++ {
+				// Inversion: −ln(1−U) with U in [0, 1) is Exp(1).
+				rates = append(rates, -math.Log(1-r.Float64()))
+			}
+		case "degprod":
+			g.ForEachEdge(func(u, w int) {
+				rates = append(rates, float64(g.Degree(u))*float64(g.Degree(w)))
+			})
+		default:
+			return nil, argErr(fmt.Sprintf("unknown weight model %q (want exp | degprod)", model))
+		}
+		s, err := sim.NewWeighted(g, "weighted:"+model, rates)
+		if err != nil {
+			return nil, fmt.Errorf("popgraph: bad scheduler spec %q: %w", spec, err)
+		}
+		return s, nil
+	case "node-clock", "nodeclock":
+		if len(parts) != 1 {
+			return nil, argErr("")
+		}
+		s, err := sim.NewNodeClock(g)
+		if err != nil {
+			return nil, fmt.Errorf("popgraph: bad scheduler spec %q: %w", spec, err)
+		}
+		return s, nil
+	case "churn":
+		if len(parts) != 3 {
+			return nil, argErr("")
+		}
+		up, err1 := strconv.ParseFloat(parts[1], 64)
+		down, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, argErr("")
+		}
+		s, err := sim.NewChurn(g, up, down)
+		if err != nil {
+			return nil, fmt.Errorf("popgraph: bad scheduler spec %q: %w", spec, err)
+		}
+		return s, nil
+	default:
+		return nil, argErr("")
+	}
 }
 
 // Protocol is a population protocol runnable by Run; see the constructors

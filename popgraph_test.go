@@ -65,6 +65,9 @@ func TestParseGraphSpecs(t *testing.T) {
 		{"barbell:3:2", 8},
 		{"gnp:30:0.3", 30},
 		{"regular:20:4", 20},
+		{"ws:24:4:0.1", 24},
+		{"ws:24:4:0", 24},
+		{"ba:30:2", 30},
 	}
 	for _, c := range cases {
 		g, err := popgraph.ParseGraph(c.spec, r)
@@ -75,6 +78,14 @@ func TestParseGraphSpecs(t *testing.T) {
 			t.Fatalf("%s: n = %d, want %d", c.spec, g.N(), c.n)
 		}
 	}
+	// Families with closed-form edge counts keep them through parsing.
+	if g, _ := popgraph.ParseGraph("ws:24:4:0.3", r); g.M() != 48 {
+		t.Fatalf("ws:24:4:0.3 m = %d, want n·k/2 = 48", g.M())
+	}
+	// Seed clique on m+1 = 3 nodes (3 edges) plus m = 2 per later node.
+	if g, _ := popgraph.ParseGraph("ba:30:2", r); g.M() != 3+27*2 {
+		t.Fatalf("ba:30:2 m = %d, want %d", g.M(), 3+27*2)
+	}
 }
 
 func TestParseGraphErrors(t *testing.T) {
@@ -82,6 +93,7 @@ func TestParseGraphErrors(t *testing.T) {
 	for _, spec := range []string{
 		"", "nope:5", "clique", "clique:x", "torus:4", "torus:axb",
 		"gnp:10", "gnp:10:zzz", "lollipop:4", "regular:10:x",
+		"ws:10:4", "ws:10:x:0.1", "ws:10:4:x", "ba:10", "ba:10:x",
 	} {
 		if _, err := popgraph.ParseGraph(spec, r); err == nil {
 			t.Errorf("spec %q accepted", spec)
@@ -107,6 +119,9 @@ func TestParseGraphRangeErrors(t *testing.T) {
 		"barbell:1:2", "barbell:2:-1",
 		"gnp:1:0.5", "gnp:10:0", "gnp:10:1.5", "gnp:-4:0.5",
 		"regular:10:2", "regular:10:11", "regular:5:3", "regular:-6:3",
+		"ws:10:3:0.1", "ws:10:0:0.1", "ws:8:8:0.1", "ws:2:2:0.1",
+		"ws:10:4:-0.5", "ws:10:4:1.5",
+		"ba:10:0", "ba:5:5", "ba:5:6", "ba:1:1", "ba:10:-2",
 	} {
 		g, err := popgraph.ParseGraph(spec, r)
 		if err == nil {
@@ -115,6 +130,71 @@ func TestParseGraphRangeErrors(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), spec) {
 			t.Errorf("spec %q: error %q does not name the spec", spec, err)
+		}
+	}
+}
+
+func TestParseScheduler(t *testing.T) {
+	r := popgraph.NewRand(23)
+	g := popgraph.Torus(3, 4)
+	cases := []struct {
+		spec string
+		name string
+	}{
+		{"uniform", "uniform"},
+		{"weighted", "weighted:exp"},
+		{"weighted:exp", "weighted:exp"},
+		{"weighted:degprod", "weighted:degprod"},
+		{"node-clock", "node-clock"},
+		{"nodeclock", "node-clock"},
+		{"churn:64:16", "churn:64:16"},
+		{"churn:2.5:1", "churn:2.5:1"},
+	}
+	for _, c := range cases {
+		s, err := popgraph.ParseScheduler(c.spec, g, r)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if s.Name() != c.name {
+			t.Fatalf("%s: name %q, want %q", c.spec, s.Name(), c.name)
+		}
+	}
+}
+
+func TestParseSchedulerErrors(t *testing.T) {
+	r := popgraph.NewRand(23)
+	g := popgraph.Clique(8)
+	for _, spec := range []string{
+		"", "bogus", "uniform:1",
+		"weighted:nosuch", "weighted:exp:1",
+		"node-clock:3",
+		"churn", "churn:64", "churn:64:16:4", "churn:x:16", "churn:64:x",
+		"churn:0.5:16", "churn:64:0", "churn:-1:2",
+	} {
+		_, err := popgraph.ParseScheduler(spec, g, r)
+		if err == nil {
+			t.Errorf("spec %q accepted", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), spec) {
+			t.Errorf("spec %q: error %q does not name the spec", spec, err)
+		}
+	}
+}
+
+// TestParsedSchedulersRun: every parsed scheduler drives a full run to
+// stabilization through the public facade.
+func TestParsedSchedulersRun(t *testing.T) {
+	g := popgraph.Torus(3, 4)
+	for _, spec := range []string{"uniform", "weighted:exp", "weighted:degprod", "node-clock", "churn:16:4"} {
+		r := popgraph.NewRand(31)
+		s, err := popgraph.ParseScheduler(spec, g, r)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		res := popgraph.Run(g, popgraph.NewSixState(), r, popgraph.Options{Scheduler: s})
+		if !res.Stabilized {
+			t.Fatalf("%s: did not stabilize", spec)
 		}
 	}
 }
