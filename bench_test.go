@@ -138,6 +138,45 @@ func BenchmarkEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineScheduled compares the specialized scheduler kernels —
+// weighted alias-table, node-clock, and the in-kernel drop path — against
+// the generic Source-driven reference loop that Options.Reference forces.
+// Both consume the identical random stream, so ns/op differences are pure
+// engine speedup.
+func BenchmarkEngineScheduled(b *testing.B) {
+	g := popgraph.Torus(32, 32)
+	setup := popgraph.NewRand(7)
+	weighted, err := popgraph.ParseScheduler("weighted:exp", g, setup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodeClock, err := popgraph.ParseScheduler("node-clock", g, setup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts popgraph.Options
+	}{
+		{"weighted", popgraph.Options{Scheduler: weighted}},
+		{"node-clock", popgraph.Options{Scheduler: nodeClock}},
+		{"uniform-drop10", popgraph.Options{DropRate: 0.1}},
+	}
+	for _, c := range cases {
+		for _, engine := range []string{"specialized", "reference"} {
+			b.Run(c.name+"/"+engine, func(b *testing.B) {
+				opts := c.opts
+				opts.Reference = engine == "reference"
+				r := popgraph.NewRand(1)
+				for done := int64(0); done < int64(b.N); {
+					opts.MaxSteps = int64(b.N) - done
+					done += popgraph.Run(g, popgraph.NewSixState(), r, opts).Steps
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBroadcastMeasurement covers the E6 primitive: one epidemic on
 // a torus per op.
 func BenchmarkBroadcastMeasurement(b *testing.B) {

@@ -1,13 +1,16 @@
 // Command bench times the simulation engine on a fixed graph ×
-// scheduler × protocol grid and writes the machine-readable
+// scheduler × protocol × drop grid and writes the machine-readable
 // BENCH_sim.json tracked at the repo root, so engine throughput is
 // measured the same way PR-over-PR.
 //
-// Uniform-scheduler cells are timed on both engines — the
-// type-specialized block-sampling hot loops and the generic EdgeSampler
-// reference loop — over the identical interaction sequence; scheduler
-// cells (weighted, node-clock, churn) time the Source-based loop once,
-// so the report records uniform-vs-weighted throughput side by side.
+// Every cell is timed on the specialized kernel its execution plan
+// compiles to (dense/clique uniform, weighted alias-table, node-clock —
+// with drop rates running inside the fast loops) and on the generic
+// Source-driven reference loop, over the identical interaction
+// sequence; cells whose plan is the generic kernel anyway (churn) are
+// timed once. The report therefore records a real fast-vs-reference
+// speedup per scheduler and per drop rate, and the -compare gate guards
+// each specialized loop independently.
 //
 // Usage:
 //
@@ -79,10 +82,10 @@ func run(out string, seed uint64, quick, quiet bool, compare string, tol float64
 
 	t := table.New(fmt.Sprintf("engine throughput (%s, %s/%s, seed %d)",
 		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.Seed),
-		"graph", "sched", "protocol", "n", "m", "spec ns/step", "spec steps/s",
-		"gen ns/step", "gen steps/s", "speedup")
+		"graph", "sched", "protocol", "drop", "engine", "n", "m",
+		"spec ns/step", "spec steps/s", "gen ns/step", "gen steps/s", "speedup")
 	for _, m := range rep.Results {
-		t.AddRow(m.Graph, m.Scheduler, m.Protocol, m.N, m.M,
+		t.AddRow(m.Graph, m.Scheduler, m.Protocol, m.Drop, m.Engine, m.N, m.M,
 			m.Specialized.NsPerStep, m.Specialized.StepsPerSec,
 			m.Generic.NsPerStep, m.Generic.StepsPerSec,
 			fmt.Sprintf("%.2fx", m.Speedup))

@@ -8,6 +8,10 @@
 //	popsim -graph torus:16x16 -protocol fast -trials 10 -seed 42
 //	popsim -graph ba:256:3 -scheduler churn:64:16 -protocol six-state
 //
+// Expensive graph statistics (the diameter is an O(n·m) BFS on large
+// random graphs) are skipped by default and printed as "D=?"; pass
+// -graph-stats (or -v) to compute them.
+//
 // Graphs: clique:N cycle:N path:N star:N hypercube:D torus:RxC grid:RxC
 // lollipop:K:P barbell:K:P gnp:N:P regular:N:D ws:N:K:BETA ba:N:M.
 // Protocols: six-state | identifier | identifier-regular | fast | star.
@@ -36,24 +40,32 @@ func main() {
 		maxSteps  = flag.Int64("max-steps", 0, "step cap per run (0 = automatic 72·n⁴·log₂n, sized for the slowest protocol/graph pair — set explicitly for large n if runs may not stabilize)")
 		dropRate  = flag.Float64("drop", 0, "interaction drop rate in [0,1)")
 		workers   = flag.Int("workers", 0, "parallel runs (0 = all cores)")
-		verbose   = flag.Bool("v", false, "print every run")
+		verbose   = flag.Bool("v", false, "print every run (implies -graph-stats)")
+		stats     = flag.Bool("graph-stats", false, "compute expensive graph statistics (diameter: O(n·m) BFS on large random graphs) at startup")
 	)
 	flag.Parse()
-	if err := run(*graphSpec, *schedSpec, *protoSpec, *seed, *trialsN, *maxSteps, *dropRate, *workers, *verbose); err != nil {
+	if err := run(*graphSpec, *schedSpec, *protoSpec, *seed, *trialsN, *maxSteps, *dropRate, *workers, *verbose, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "popsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(graphSpec, schedSpec, protoSpec string, seed uint64, trials int, maxSteps int64,
-	dropRate float64, workers int, verbose bool) error {
+	dropRate float64, workers int, verbose, graphStats bool) error {
 	r := popgraph.NewRand(seed)
 	g, err := popgraph.ParseGraph(graphSpec, r)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph %s: n=%d m=%d Δ=%d D=%d\n",
-		g.Name(), g.N(), g.M(), popgraph.MaxDegree(g), popgraph.Diameter(g))
+	// The diameter is O(n·m) BFS for families without a closed form
+	// (ws/ba/gnp), which dwarfs small sweeps on large graphs — only
+	// compute it when asked.
+	diam := "?"
+	if verbose || graphStats {
+		diam = fmt.Sprintf("%d", popgraph.Diameter(g))
+	}
+	fmt.Printf("graph %s: n=%d m=%d Δ=%d D=%s\n",
+		g.Name(), g.N(), g.M(), popgraph.MaxDegree(g), diam)
 
 	if dropRate < 0 || dropRate >= 1 {
 		return fmt.Errorf("drop rate %v outside [0, 1)", dropRate)

@@ -4,16 +4,17 @@
 // is tracked PR-over-PR.
 //
 // Each grid cell is timed twice through the batch runner
-// (internal/runner, one worker, so wall-clock is per-trial time). For
-// uniform-scheduler cells the two timings are the type-specialized
-// block-sampling engine and the generic EdgeSampler loop, which an
-// explicit Options.Sampler forces; both consume the identical random
-// stream (see internal/sim), so the ratio is a pure engine speedup. For
-// non-uniform scheduler cells there is no specialized loop — the
-// Source-based loop is timed once, its stats recorded under both
-// labels (speedup exactly 1), and the interesting comparison is across
-// cells: uniform vs weighted vs churn throughput on the same graph ×
-// protocol.
+// (internal/runner, one worker, so wall-clock is per-trial time): once
+// on the specialized kernel the cell's execution plan compiles to
+// (sim.Compile — dense/clique uniform, weighted alias-table,
+// node-clock, with drop rates folded into the fast loops), and once on
+// the generic Source-driven reference kernel, which Options.Reference
+// forces. Both consume the identical random stream (see internal/sim),
+// so the ratio is a pure engine speedup, now measured per scheduler and
+// per drop rate — the CI gate guards every specialized loop, not just
+// the uniform ones. Cells whose plan compiles to the generic kernel
+// anyway (churn, whose per-run edge state rules out monomorphization)
+// are timed once and recorded under both labels with speedup exactly 1.
 //
 // Compare diffs a fresh report against a committed baseline and reports
 // cells whose specialized ns/step regressed beyond a tolerance; CI runs
@@ -35,8 +36,10 @@ import (
 )
 
 // Schema identifies the BENCH_sim.json layout; bump on breaking changes.
-// v2 added the scheduler dimension.
-const Schema = "popgraph-bench/v2"
+// v2 added the scheduler dimension; v3 added the drop dimension and the
+// per-cell engine name, and made every non-generic cell a real
+// fast-vs-reference comparison.
+const Schema = "popgraph-bench/v3"
 
 // Config is one grid cell: a graph, scheduler and protocol spec with
 // the trial shape. Steps caps every trial, so cells are timed over
@@ -46,8 +49,12 @@ type Config struct {
 	// Scheduler is a ParseScheduler spec; empty means uniform.
 	Scheduler string `json:"scheduler,omitempty"`
 	Protocol  string `json:"protocol"`
-	Steps     int64  `json:"steps"`
-	Trials    int    `json:"trials"`
+	// Drop is the injected interaction drop rate in [0, 1); drop
+	// decisions execute inside the specialized kernels, so drop>0 cells
+	// measure a distinct fast path.
+	Drop   float64 `json:"drop,omitempty"`
+	Steps  int64   `json:"steps"`
+	Trials int     `json:"trials"`
 }
 
 // EngineStats is the timing of one engine on one cell.
@@ -72,23 +79,29 @@ type Measurement struct {
 	// config left it empty).
 	Scheduler string `json:"scheduler"`
 	Protocol  string `json:"protocol"`
-	N         int    `json:"n"`
-	M         int    `json:"m"`
-	Trials    int    `json:"trials"`
-	// Specialized is the default engine (type-specialized hot loops for
-	// uniform cells, the scheduler loop otherwise); Generic is the
-	// interface-dispatch reference loop for uniform cells and a copy of
-	// Specialized otherwise (there is no second engine to time).
+	// Drop is the cell's injected drop rate (omitted when 0).
+	Drop float64 `json:"drop,omitempty"`
+	// Engine is the kernel the cell's execution plan compiled to:
+	// "dense-uniform", "clique-uniform", "weighted", "node-clock" or
+	// "generic" (sim.ExecPlan.Engine).
+	Engine string `json:"engine"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Trials int    `json:"trials"`
+	// Specialized times the compiled kernel; Generic times the
+	// Source-driven reference loop that Options.Reference forces. When
+	// Engine is "generic" the two are the same loop, so it is timed once
+	// and the stats copied.
 	Specialized EngineStats `json:"specialized"`
 	Generic     EngineStats `json:"generic"`
 	// Speedup is generic ns/step divided by specialized ns/step;
-	// exactly 1 on non-uniform cells.
+	// exactly 1 on generic-engine cells.
 	Speedup float64 `json:"speedup"`
 }
 
 // key identifies a cell for baseline comparison.
 func (m Measurement) key() string {
-	return m.GraphSpec + "|" + m.Scheduler + "|" + m.Protocol
+	return fmt.Sprintf("%s|%s|%s|%g", m.GraphSpec, m.Scheduler, m.Protocol, m.Drop)
 }
 
 // Report is the machine-readable benchmark output.
@@ -106,10 +119,12 @@ type Report struct {
 
 // DefaultGrid returns the standard grid: the six-state baseline on every
 // concrete representation (implicit clique, CSR torus/lollipop/cycle)
-// plus one identifier and one fast cell, and a scheduler dimension — the
+// plus one identifier and one fast cell; a scheduler dimension — the
 // six-state torus cell repeated under the weighted, node-clock and churn
-// schedulers so BENCH_sim.json records uniform-vs-weighted throughput.
-// quick shrinks the work for smoke tests.
+// schedulers, each now a real fast-vs-reference comparison; and a drop
+// dimension — the uniform and weighted torus cells repeated at drop 0.1,
+// covering the in-kernel drop fast path. quick shrinks the work for
+// smoke tests.
 func DefaultGrid(quick bool) []Config {
 	steps, trials := int64(1<<21), 3
 	if quick {
@@ -131,6 +146,8 @@ func DefaultGrid(quick bool) []Config {
 		{GraphSpec: "torus:32x32", Scheduler: "weighted:exp", Protocol: "six-state", Steps: steps, Trials: trials},
 		{GraphSpec: "torus:32x32", Scheduler: "node-clock", Protocol: "six-state", Steps: steps, Trials: trials},
 		{GraphSpec: "torus:32x32", Scheduler: "churn:64:16", Protocol: "six-state", Steps: steps, Trials: trials},
+		{GraphSpec: "torus:32x32", Protocol: "six-state", Drop: 0.1, Steps: steps, Trials: trials},
+		{GraphSpec: "torus:32x32", Scheduler: "weighted:exp", Protocol: "six-state", Drop: 0.1, Steps: steps, Trials: trials},
 	}
 }
 
@@ -155,8 +172,9 @@ func Run(cfgs []Config, seed uint64, logf func(format string, args ...interface{
 		}
 		rep.Results = append(rep.Results, m)
 		if logf != nil {
-			logf("bench: %-16s × %-12s × %-10s  specialized %6.2f ns/step  generic %6.2f ns/step  speedup %.2fx",
-				m.Graph, m.Scheduler, m.Protocol, m.Specialized.NsPerStep, m.Generic.NsPerStep, m.Speedup)
+			logf("bench: %-16s × %-12s × %-10s × drop %.2g  [%s]  specialized %6.2f ns/step  generic %6.2f ns/step  speedup %.2fx",
+				m.Graph, m.Scheduler, m.Protocol, m.Drop, m.Engine,
+				m.Specialized.NsPerStep, m.Generic.NsPerStep, m.Speedup)
 		}
 	}
 	return rep, nil
@@ -185,30 +203,36 @@ func measure(cfg Config, seed uint64) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
+	opts := sim.Options{MaxSteps: cfg.Steps, Scheduler: sched, DropRate: cfg.Drop}
+	plan, err := sim.Compile(g, opts)
+	if err != nil {
+		return Measurement{}, err
+	}
 	m := Measurement{
 		Graph:     g.Name(),
 		GraphSpec: cfg.GraphSpec,
 		Scheduler: sched.Name(),
 		Protocol:  factory().Name(),
+		Drop:      cfg.Drop,
+		Engine:    plan.Engine(),
 		N:         g.N(),
 		M:         g.M(),
 		Trials:    cfg.Trials,
 	}
-	// Uniform cells compare the specialized fast loops against the
-	// generic EdgeSampler loop (forced by an explicit Sampler). There is
-	// no specialized loop for other schedulers — a second timing of the
-	// identical Source-based loop would only measure noise — so those
-	// cells are timed once and the stats copied, making the speedup
-	// exactly 1.
-	spec, err := timeEngine(g, factory, seed, cfg,
-		sim.Options{MaxSteps: cfg.Steps, Scheduler: sched})
+	// Time the compiled kernel, then the Source-driven reference loop
+	// that Options.Reference forces. Cells whose plan is the generic
+	// kernel already (churn) have no second engine to time — a second
+	// timing of the identical loop would only measure noise — so they
+	// are timed once and the stats copied, making the speedup exactly 1.
+	spec, err := timeEngine(g, factory, seed, cfg, opts)
 	if err != nil {
 		return Measurement{}, err
 	}
 	gen := spec
-	if sched.Name() == "uniform" {
-		gen, err = timeEngine(g, factory, seed, cfg,
-			sim.Options{MaxSteps: cfg.Steps, Scheduler: sched, Sampler: g})
+	if m.Engine != "generic" {
+		refOpts := opts
+		refOpts.Reference = true
+		gen, err = timeEngine(g, factory, seed, cfg, refOpts)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -306,8 +330,8 @@ func Compare(cur, base Report, tol float64) []string {
 		curNs, baseNs := gateNs(m.Specialized), gateNs(b.Specialized)
 		if curNs > baseNs*(1+tol) {
 			msgs = append(msgs, fmt.Sprintf(
-				"%s × %s × %s: specialized %.2f ns/step vs baseline %.2f (+%.0f%%, tolerance %.0f%%)",
-				m.GraphSpec, m.Scheduler, m.Protocol,
+				"%s × %s × %s × drop %g: specialized %.2f ns/step vs baseline %.2f (+%.0f%%, tolerance %.0f%%)",
+				m.GraphSpec, m.Scheduler, m.Protocol, m.Drop,
 				curNs, baseNs, 100*(curNs/baseNs-1), 100*tol))
 		}
 	}

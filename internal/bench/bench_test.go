@@ -66,23 +66,29 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	}
 }
 
-// TestRunSchedulerCells: non-uniform scheduler cells time the same
-// Source-based loop twice — both timings must cover the identical step
-// count and carry the scheduler's display name.
+// TestRunSchedulerCells: scheduler and drop cells compile to their
+// specialized kernels (churn stays generic), both timings cover the
+// identical step count, and every cell records the engine its plan
+// picked.
 func TestRunSchedulerCells(t *testing.T) {
 	cfgs := []Config{
 		{GraphSpec: "torus:8x8", Scheduler: "weighted:exp", Protocol: "six-state", Steps: 1 << 12, Trials: 1},
 		{GraphSpec: "torus:8x8", Scheduler: "node-clock", Protocol: "six-state", Steps: 1 << 12, Trials: 1},
 		{GraphSpec: "torus:8x8", Scheduler: "churn:16:4", Protocol: "six-state", Steps: 1 << 12, Trials: 1},
+		{GraphSpec: "torus:8x8", Protocol: "six-state", Drop: 0.1, Steps: 1 << 12, Trials: 1},
 	}
 	rep, err := Run(cfgs, 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantNames := []string{"weighted:exp", "node-clock", "churn:16:4"}
+	wantNames := []string{"weighted:exp", "node-clock", "churn:16:4", "uniform"}
+	wantEngines := []string{"weighted", "node-clock", "generic", "dense-uniform"}
 	for i, m := range rep.Results {
 		if m.Scheduler != wantNames[i] {
 			t.Fatalf("cell %d scheduler %q, want %q", i, m.Scheduler, wantNames[i])
+		}
+		if m.Engine != wantEngines[i] {
+			t.Fatalf("cell %d engine %q, want %q", i, m.Engine, wantEngines[i])
 		}
 		if m.Specialized.Steps != m.Generic.Steps {
 			t.Fatalf("cell %d timed different work: %d vs %d steps",
@@ -91,6 +97,17 @@ func TestRunSchedulerCells(t *testing.T) {
 		if m.Specialized.NsPerStep <= 0 || m.Generic.NsPerStep <= 0 {
 			t.Fatalf("cell %d degenerate stats %+v", i, m)
 		}
+	}
+	// The generic-engine cell is timed once: its two stat blocks must be
+	// copies, and its speedup exactly 1.
+	churn := rep.Results[2]
+	if churn.Specialized != churn.Generic || churn.Speedup != 1 {
+		t.Fatalf("generic cell timed twice: %+v", churn)
+	}
+	// The drop cell's key must be distinct from the same cell at drop 0,
+	// so baselines gate the two fast paths independently.
+	if rep.Results[3].key() == (Measurement{GraphSpec: "torus:8x8", Scheduler: "uniform", Protocol: rep.Results[3].Protocol}).key() {
+		t.Fatal("drop cell key collides with drop-0 cell")
 	}
 }
 
@@ -155,8 +172,9 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		`"schema": "popgraph-bench/v2"`, `"steps_per_sec"`, `"ns_per_step"`,
+		`"schema": "popgraph-bench/v3"`, `"steps_per_sec"`, `"ns_per_step"`,
 		`"speedup"`, `"max_speedup"`, `"clique-32"`, `"scheduler": "uniform"`,
+		`"engine": "clique-uniform"`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("JSON missing %q:\n%s", want, out)
@@ -179,7 +197,7 @@ func TestDefaultGrid(t *testing.T) {
 	if len(full) != len(quick) || len(full) == 0 {
 		t.Fatalf("grid sizes %d, %d", len(full), len(quick))
 	}
-	sixState := 0
+	sixState, dropCells := 0, 0
 	for i := range full {
 		if full[i].Steps <= quick[i].Steps {
 			t.Fatalf("quick grid not smaller: %+v vs %+v", full[i], quick[i])
@@ -187,8 +205,14 @@ func TestDefaultGrid(t *testing.T) {
 		if full[i].Protocol == "six-state" {
 			sixState++
 		}
+		if full[i].Drop > 0 {
+			dropCells++
+		}
 	}
 	if sixState < 2 {
 		t.Fatalf("default grid has %d six-state cells, want >= 2", sixState)
+	}
+	if dropCells < 2 {
+		t.Fatalf("default grid has %d drop>0 cells, want >= 2 (the in-kernel drop fast path must stay gated)", dropCells)
 	}
 }

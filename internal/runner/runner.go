@@ -50,9 +50,12 @@ type Outcome struct {
 	// Backup is the number of nodes that entered the protocol's backup
 	// phase (0 for protocols without one).
 	Backup int
-	// Err is the panic message when the trial crashed (e.g. a protocol
+	// Err is the failure message when the trial did not complete: an
+	// invalid run configuration rejected by sim.Compile (tiny graph,
+	// drop rate outside [0, 1), scheduler built for a different graph),
+	// or the panic message when the trial crashed (e.g. a protocol
 	// rejecting its graph at Reset inside a sweep grid); empty on
-	// success. A crashed trial has Result.Stabilized = false and
+	// success. A failed trial has Result.Stabilized = false and
 	// Leader = -1, and never takes down the batch: the pool records the
 	// failure and keeps draining the remaining jobs.
 	Err string
@@ -121,6 +124,9 @@ func (p Pool) Run(jobs []Job) []Outcome {
 func Run(jobs []Job) []Outcome { return Pool{}.Run(jobs) }
 
 func runOne(j Job) (o Outcome) {
+	// The recover only catches genuine crashes (a protocol panicking at
+	// Reset or Step); configuration errors surface through sim.RunE
+	// below without ever raising a panic.
 	defer func() {
 		if p := recover(); p != nil {
 			o = Outcome{
@@ -131,7 +137,14 @@ func runOne(j Job) (o Outcome) {
 	}()
 	p := j.New()
 	r := xrand.New(j.Seed)
-	o = Outcome{Result: sim.Run(j.Graph, p, r, j.Opts)}
+	res, err := sim.RunE(j.Graph, p, r, j.Opts)
+	if err != nil {
+		return Outcome{
+			Result: sim.Result{Steps: 0, Stabilized: false, Leader: -1},
+			Err:    err.Error(),
+		}
+	}
+	o = Outcome{Result: res}
 	if br, ok := p.(backupReporter); ok {
 		o.Backup = br.InBackup()
 	}

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -146,5 +147,25 @@ func TestTrialJobsFloorsAtOne(t *testing.T) {
 func TestRunEmpty(t *testing.T) {
 	if got := Run(nil); len(got) != 0 {
 		t.Fatalf("Run(nil) returned %d outcomes", len(got))
+	}
+}
+
+// TestRunSurfacesCompileErrors: an invalid run configuration (here a
+// drop rate outside [0, 1)) must surface as the trial's Outcome.Err via
+// sim.RunE's error return — not by recovering a panic — and must not
+// take down the batch.
+func TestRunSurfacesCompileErrors(t *testing.T) {
+	g := graph.NewClique(8)
+	bad := TrialJobs(g, factory, 3, 1, sim.Options{DropRate: 1.5})
+	good := TrialJobs(g, factory, 3, 1, sim.Options{})
+	outs := Pool{Workers: 2}.Run(append(bad, good...))
+	if !outs[0].Failed() || !strings.Contains(outs[0].Err, "drop rate") {
+		t.Fatalf("bad config outcome %+v, want drop-rate error", outs[0])
+	}
+	if outs[0].Result.Stabilized || outs[0].Result.Leader != -1 {
+		t.Fatalf("failed trial carries a result: %+v", outs[0].Result)
+	}
+	if outs[1].Failed() || !outs[1].Result.Stabilized {
+		t.Fatalf("good trial after failed one: %+v", outs[1])
 	}
 }

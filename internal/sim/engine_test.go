@@ -98,10 +98,11 @@ func TestEngineSequentialRuns(t *testing.T) {
 	}
 }
 
-// TestEngineObserverAndDropStayGeneric: instrumented runs must not take
-// the specialized path (observers see every step; drops consume extra
-// randomness), and remain correct.
-func TestEngineObserverAndDropStayGeneric(t *testing.T) {
+// TestEngineObserverAndDropOnFastPath: instrumented runs now stay on
+// the specialized kernels (observers are chunk boundaries, drops are
+// prefetched block draws); the observable behaviour must be unchanged —
+// an every-step observer sees every step, drop-rate runs stabilize.
+func TestEngineObserverAndDropOnFastPath(t *testing.T) {
 	g := graph.NewClique(12)
 	obs := &countingObserver{}
 	res := Run(g, beauquier.New(), xrand.New(5), Options{Observer: obs, ObserveEvery: 1})
@@ -111,6 +112,184 @@ func TestEngineObserverAndDropStayGeneric(t *testing.T) {
 	res = Run(g, beauquier.New(), xrand.New(5), Options{DropRate: 0.5})
 	if !res.Stabilized {
 		t.Fatal("drop-rate run did not stabilize")
+	}
+}
+
+// recordingObserver captures the callback cadence and, through the
+// protocol's O(1) leader counter, the protocol state visible at each
+// callback — so equivalence checks catch a kernel that applies steps in
+// the right order but observes at the wrong moment.
+type recordingObserver struct {
+	p       Protocol
+	ts      []int64
+	leaders []int
+}
+
+func (o *recordingObserver) Observe(t int64) {
+	o.ts = append(o.ts, t)
+	o.leaders = append(o.leaders, o.p.Leaders())
+}
+
+func (o *recordingObserver) equal(other *recordingObserver) bool {
+	if len(o.ts) != len(other.ts) {
+		return false
+	}
+	for i := range o.ts {
+		if o.ts[i] != other.ts[i] || o.leaders[i] != other.leaders[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// referenceRun is an independent step-at-a-time loop implementing the
+// run semantics from first principles — one Source.Next per step, a
+// live Float64 drop draw after each delivered contact, observer on
+// every multiple of the interval, stabilization checked after every
+// step. It deliberately shares no code with plan.go or engine.go: it is
+// the meaning the compiled kernels must reproduce byte for byte.
+func referenceRun(g graph.Graph, p Protocol, r *xrand.Rand, opts Options) Result {
+	p.Reset(g, r)
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps(g.N())
+	}
+	every := opts.ObserveEvery
+	if every <= 0 {
+		every = 1
+	}
+	var src Source
+	if opts.Scheduler == nil {
+		src = Uniform{G: g}.Begin(r)
+	} else {
+		src = opts.Scheduler.Begin(r)
+	}
+	for t := int64(1); t <= maxSteps; t++ {
+		u, v, ok := src.Next(t, r)
+		if ok && (opts.DropRate == 0 || r.Float64() >= opts.DropRate) {
+			p.Step(u, v)
+		}
+		if opts.Observer != nil && t%every == 0 {
+			opts.Observer.Observe(t)
+		}
+		if p.Stable() {
+			return Result{Steps: t, Stabilized: true, Leader: FindLeader(g, p)}
+		}
+	}
+	return Result{Steps: maxSteps, Stabilized: false, Leader: -1}
+}
+
+// TestPlanEquivalenceMatrix is the determinism contract of the compiled
+// execution plans: for every scheduler × drop × observer combination on
+// every kernel-eligible graph shape, the specialized kernel, the forced
+// reference kernel (Options.Reference) and the independent step-at-a-
+// time loop above must produce byte-identical Results, identical
+// observer callback sequences (times and visible state), and leave the
+// generator at the byte-identical stream position.
+func TestPlanEquivalenceMatrix(t *testing.T) {
+	schedCases := []struct {
+		tag   string
+		build func(g graph.Graph) Scheduler
+	}{
+		{"uniform", func(graph.Graph) Scheduler { return nil }},
+		{"weighted", func(g graph.Graph) Scheduler {
+			rates := make([]float64, g.M())
+			for i := range rates {
+				rates[i] = float64(1 + i%7)
+			}
+			s, err := NewWeighted(g, "weighted:ramp", rates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"node-clock", func(g graph.Graph) Scheduler {
+			s, err := NewNodeClock(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"churn", func(g graph.Graph) Scheduler {
+			s, err := NewChurn(g, 16, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+	graphs := []graph.Graph{
+		graph.Torus2D(4, 5),  // CSR: dense-uniform / weighted / node-clock kernels
+		graph.NewClique(23),  // implicit: clique-uniform kernel, odd n rejection path
+		graph.Lollipop(6, 5), // skewed degrees for the node-clock neighbor draw
+	}
+	// Caps around the prefetch block size exercise partial-block rewinds
+	// and multi-block runs; 0 (the default cap) lets runs end by
+	// stabilizing, checking the early-exit paths.
+	caps := []int64{511, 4000, 0}
+	drops := []float64{0, 0.3}
+	everies := []int64{-1, 1, 7, 512} // -1 = no observer
+	for _, g := range graphs {
+		for _, sc := range schedCases {
+			sched := sc.build(g)
+			for _, drop := range drops {
+				for _, maxSteps := range caps {
+					for _, every := range everies {
+						for seed := uint64(1); seed <= 2; seed++ {
+							name := fmt.Sprintf("%s/%s/drop%v/cap%d/every%d/seed%d",
+								g.Name(), sc.tag, drop, maxSteps, every, seed)
+							type variant struct {
+								res Result
+								r   *xrand.Rand
+								obs *recordingObserver
+							}
+							runVariant := func(ref, forceGeneric bool) variant {
+								r := xrand.New(seed)
+								p := beauquier.New()
+								opts := Options{
+									MaxSteps:  maxSteps,
+									Scheduler: sched,
+									DropRate:  drop,
+									Reference: forceGeneric,
+								}
+								var obs *recordingObserver
+								if every > 0 {
+									obs = &recordingObserver{p: p}
+									opts.Observer = obs
+									opts.ObserveEvery = every
+								}
+								var res Result
+								if ref {
+									res = referenceRun(g, p, r, opts)
+								} else {
+									res = Run(g, p, r, opts)
+								}
+								return variant{res: res, r: r, obs: obs}
+							}
+							want := runVariant(true, false)
+							var wantDraws [16]uint64
+							for i := range wantDraws {
+								wantDraws[i] = want.r.Uint64()
+							}
+							for _, v := range []variant{runVariant(false, false), runVariant(false, true)} {
+								if v.res != want.res {
+									t.Fatalf("%s: results diverged: plan %+v, reference %+v", name, v.res, want.res)
+								}
+								if every > 0 && !v.obs.equal(want.obs) {
+									t.Fatalf("%s: observer sequences diverged:\nplan %v %v\nref  %v %v",
+										name, v.obs.ts, v.obs.leaders, want.obs.ts, want.obs.leaders)
+								}
+								for i, b := range wantDraws {
+									if a := v.r.Uint64(); a != b {
+										t.Fatalf("%s: post-run RNG stream diverged at draw %d", name, i)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
 	}
 }
 

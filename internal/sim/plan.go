@@ -1,0 +1,213 @@
+// Execution plans. Compile validates a run configuration once — graph
+// size, drop rate, scheduler/graph binding — and selects the single
+// fastest kernel (engine.go) for the scheduler × graph shape; ExecPlan
+// then drives that kernel in bounded chunks, placing chunk boundaries
+// exactly on observer ticks. One engine architecture serves every
+// scenario: a weighted-scheduler run with failure injection and an
+// attached observer executes the same monomorphized block-sampling loop
+// as an uninstrumented one, just with shorter chunks.
+//
+// The chunk length is min(rngBlockSize, steps to the next observer
+// boundary, steps to the cap). Kernels keep their block-prefetch state
+// alive across chunks, so boundary placement never changes the random
+// stream — only where control returns to the plan for the Observe
+// callback and the stabilization exit.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/xrand"
+)
+
+// planMode identifies the kernel a plan compiled to.
+type planMode uint8
+
+const (
+	// modeGeneric is the Source-driven reference loop: explicit samplers,
+	// schedulers with per-run mutable state (churn), custom graph or
+	// scheduler types, and anything forced by Options.Reference.
+	modeGeneric planMode = iota
+	modeDenseUniform
+	modeCliqueUniform
+	modeWeighted
+	modeNodeClock
+)
+
+var planModeNames = [...]string{
+	modeGeneric:       "generic",
+	modeDenseUniform:  "dense-uniform",
+	modeCliqueUniform: "clique-uniform",
+	modeWeighted:      "weighted",
+	modeNodeClock:     "node-clock",
+}
+
+// ExecPlan is a compiled run configuration: the validated (graph,
+// scheduler, drop, observer, cap) tuple bound to the specialized kernel
+// that will execute it. A plan is immutable and holds no per-run state —
+// kernels are instantiated inside Run — so one plan may drive any number
+// of runs, including concurrently, provided each run has its own
+// Protocol and generator (as always) and the plan's Observer, which is
+// shared across its runs, is nil or itself safe for concurrent use.
+type ExecPlan struct {
+	g         graph.Graph
+	maxSteps  int64
+	drop      float64
+	observer  Observer
+	every     int64
+	mode      planMode
+	sched     Scheduler   // non-nil when a non-uniform scheduler drives the run
+	sampler   EdgeSampler // non-nil when Options.Sampler overrode the pair stream
+	weighted  *Weighted
+	nodeClock *NodeClock
+}
+
+// Engine names the kernel the plan compiled to — "dense-uniform",
+// "clique-uniform", "weighted", "node-clock" or "generic" — for
+// benchmark reports and logs.
+func (pl *ExecPlan) Engine() string { return planModeNames[pl.mode] }
+
+// MaxSteps returns the resolved step cap (Options.MaxSteps, or
+// DefaultMaxSteps of the graph when that was zero).
+func (pl *ExecPlan) MaxSteps() int64 { return pl.maxSteps }
+
+// Compile validates opts against g and selects the execution kernel.
+// All input checking lives here: Run-time panics on bad configurations
+// are gone, callers that want errors use Compile or RunE, and the
+// legacy Run wrapper panics with the error Compile returned.
+func Compile(g graph.Graph, opts Options) (*ExecPlan, error) {
+	if g == nil {
+		return nil, fmt.Errorf("sim: nil graph")
+	}
+	if g.N() < 2 {
+		return nil, fmt.Errorf("sim: graph %q too small (n=%d)", g.Name(), g.N())
+	}
+	if math.IsNaN(opts.DropRate) || opts.DropRate < 0 || opts.DropRate >= 1 {
+		return nil, fmt.Errorf("sim: drop rate %v outside [0, 1)", opts.DropRate)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps(g.N())
+	}
+	every := opts.ObserveEvery
+	if every <= 0 {
+		every = 1
+	}
+	pl := &ExecPlan{
+		g:        g,
+		maxSteps: maxSteps,
+		drop:     opts.DropRate,
+		observer: opts.Observer,
+		every:    every,
+	}
+	// The uniform policy (nil or Uniform{}, graph-bound or not) is the
+	// graph's own SampleEdge distribution.
+	sched := opts.Scheduler
+	switch sched.(type) {
+	case Uniform, *Uniform:
+		sched = nil
+	}
+	pl.sched = sched
+	// Scheduler/graph binding is validated regardless of which kernel
+	// ends up selected: a Reference-forced or Sampler-overridden run must
+	// reject the same configurations the specialized kernels would.
+	switch s := sched.(type) {
+	case *Weighted:
+		if s.alias.N() != g.M() {
+			return nil, fmt.Errorf("sim: weighted scheduler %q is built for %d edges, graph %q has %d",
+				s.Name(), s.alias.N(), g.Name(), g.M())
+		}
+	case *NodeClock:
+		if s.alias.N() != g.N() {
+			return nil, fmt.Errorf("sim: node-clock scheduler is built for %d nodes, graph %q has %d",
+				s.alias.N(), g.Name(), g.N())
+		}
+	}
+	switch {
+	case opts.Sampler != nil:
+		// An explicit pair stream always takes the reference kernel; it
+		// overrides the scheduler, as it always has.
+		pl.sampler = opts.Sampler
+		pl.sched = nil
+	case opts.Reference:
+		// Forced reference loop: same stream, no specialization.
+	default:
+		switch s := sched.(type) {
+		case *Weighted:
+			pl.mode = modeWeighted
+			pl.weighted = s
+		case *NodeClock:
+			pl.mode = modeNodeClock
+			pl.nodeClock = s
+		case nil:
+			switch g.(type) {
+			case *graph.Dense:
+				pl.mode = modeDenseUniform
+			case graph.Clique:
+				pl.mode = modeCliqueUniform
+			}
+		}
+	}
+	return pl, nil
+}
+
+// newKernel instantiates the per-run chunk runner; r is available for
+// scheduler Begin draws, mirroring the pre-plan Source construction
+// point (after Protocol.Reset).
+func (pl *ExecPlan) newKernel(r *xrand.Rand) kernel {
+	switch pl.mode {
+	case modeDenseUniform:
+		return newDenseKernel(pl.g.(*graph.Dense), pl.drop)
+	case modeCliqueUniform:
+		return newCliqueKernel(pl.g.(graph.Clique), pl.drop)
+	case modeWeighted:
+		return newWeightedKernel(pl.weighted, pl.drop)
+	case modeNodeClock:
+		return newNodeClockKernel(pl.nodeClock, pl.drop)
+	}
+	var src Source
+	switch {
+	case pl.sampler != nil:
+		src = samplerSource{pl.sampler}
+	case pl.sched != nil:
+		src = pl.sched.Begin(r)
+	default:
+		src = samplerSource{pl.g}
+	}
+	return &sourceKernel{src: src, drop: pl.drop}
+}
+
+// Run resets p on the plan's graph and executes the compiled kernel in
+// chunks until the protocol reports a stable configuration or the step
+// cap is hit. Observer callbacks fire after the step closing each
+// observer interval, including a stabilizing step that lands on a
+// boundary — exactly the cadence of the step-at-a-time reference loop.
+func (pl *ExecPlan) Run(p Protocol, r *xrand.Rand) Result {
+	p.Reset(pl.g, r)
+	kern := pl.newKernel(r)
+	var t int64
+	for t < pl.maxSteps {
+		k := pl.maxSteps - t
+		if k > rngBlockSize {
+			k = rngBlockSize
+		}
+		if pl.observer != nil {
+			if toBoundary := pl.every - t%pl.every; toBoundary < k {
+				k = toBoundary
+			}
+		}
+		done, stabilized := kern.run(p, r, t, k)
+		t += done
+		if pl.observer != nil && t%pl.every == 0 {
+			pl.observer.Observe(t)
+		}
+		if stabilized {
+			kern.finish(r)
+			return Result{Steps: t, Stabilized: true, Leader: FindLeader(pl.g, p)}
+		}
+	}
+	kern.finish(r)
+	return Result{Steps: pl.maxSteps, Stabilized: false, Leader: -1}
+}

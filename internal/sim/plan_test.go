@@ -1,0 +1,198 @@
+package sim_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/beauquier"
+	. "popgraph/internal/sim"
+	"popgraph/internal/xrand"
+)
+
+// TestCompileValidation: every input the old Run panicked on — and the
+// scheduler/graph mismatches it silently accepted — must come back as a
+// compile error naming the problem.
+func TestCompileValidation(t *testing.T) {
+	g := graph.Torus2D(3, 4)
+	weightedFor := func(h graph.Graph) Scheduler {
+		rates := make([]float64, h.M())
+		for i := range rates {
+			rates[i] = 1
+		}
+		s, err := NewWeighted(h, "w", rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	nodeClockFor := func(h graph.Graph) Scheduler {
+		s, err := NewNodeClock(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	single, err := graph.NewDense(1, nil, "single")
+	if err != nil {
+		t.Fatalf("1-node graph rejected by constructor: %v", err)
+	}
+	cases := []struct {
+		name string
+		g    graph.Graph
+		opts Options
+		want string // substring of the error
+	}{
+		{"nil-graph", nil, Options{}, "nil graph"},
+		{"tiny-graph", single, Options{}, "too small"},
+		{"drop-one", g, Options{DropRate: 1}, "drop rate"},
+		{"drop-negative", g, Options{DropRate: -0.1}, "drop rate"},
+		{"drop-nan", g, Options{DropRate: math.NaN()}, "drop rate"},
+		{"weighted-wrong-graph", g, Options{Scheduler: weightedFor(graph.Path(3))}, "built for"},
+		{"node-clock-wrong-graph", g, Options{Scheduler: nodeClockFor(graph.Path(3))}, "built for"},
+		// Binding checks must hold on the reference and sampler paths
+		// too: a forced-generic run would otherwise feed out-of-range
+		// node ids from the mismatched scheduler straight to the protocol.
+		{"weighted-wrong-graph-reference", g, Options{Scheduler: weightedFor(graph.Path(3)), Reference: true}, "built for"},
+		{"node-clock-wrong-graph-reference", g, Options{Scheduler: nodeClockFor(graph.Path(3)), Reference: true}, "built for"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Compile(c.g, c.opts); err == nil {
+				t.Fatalf("Compile accepted %+v", c.opts)
+			} else if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+			if _, err := RunE(c.g, beauquier.New(), xrand.New(1), c.opts); err == nil {
+				t.Fatal("RunE accepted what Compile rejected")
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("Run did not panic on what Compile rejected")
+					}
+				}()
+				Run(c.g, beauquier.New(), xrand.New(1), c.opts)
+			}()
+		})
+	}
+}
+
+// TestCompileEngineSelection: the plan must pick the specialized kernel
+// whenever one exists for the scheduler × graph shape — regardless of
+// observers and drop rates, which no longer force the generic loop —
+// and fall back to the generic reference kernel for stateful
+// schedulers, explicit samplers and forced-reference runs.
+func TestCompileEngineSelection(t *testing.T) {
+	torus := graph.Torus2D(3, 4)
+	clique := graph.NewClique(8)
+	weighted, err := NewWeighted(torus, "w", func() []float64 {
+		r := make([]float64, torus.M())
+		for i := range r {
+			r[i] = float64(i + 1)
+		}
+		return r
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeClock, err := NewNodeClock(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := NewChurn(torus, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &countingObserver{}
+	cases := []struct {
+		name string
+		g    graph.Graph
+		opts Options
+		want string
+	}{
+		{"dense-uniform", torus, Options{}, "dense-uniform"},
+		{"clique-uniform", clique, Options{}, "clique-uniform"},
+		{"explicit-uniform", torus, Options{Scheduler: Uniform{}}, "dense-uniform"},
+		{"dense-with-drop", torus, Options{DropRate: 0.5}, "dense-uniform"},
+		{"dense-with-observer", torus, Options{Observer: obs, ObserveEvery: 3}, "dense-uniform"},
+		{"weighted", torus, Options{Scheduler: weighted}, "weighted"},
+		{"weighted-drop-observer", torus, Options{Scheduler: weighted, DropRate: 0.2, Observer: obs}, "weighted"},
+		{"node-clock", torus, Options{Scheduler: nodeClock}, "node-clock"},
+		{"churn-is-generic", torus, Options{Scheduler: churn}, "generic"},
+		{"sampler-forces-generic", torus, Options{Sampler: torus}, "generic"},
+		{"reference-forces-generic", torus, Options{Reference: true}, "generic"},
+		{"reference-weighted", torus, Options{Scheduler: weighted, Reference: true}, "generic"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pl, err := Compile(c.g, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pl.Engine() != c.want {
+				t.Fatalf("engine %q, want %q", pl.Engine(), c.want)
+			}
+		})
+	}
+}
+
+// TestPlanMaxStepsResolution: the compiled plan resolves the default
+// cap once, at compile time.
+func TestPlanMaxStepsResolution(t *testing.T) {
+	g := graph.NewClique(16)
+	pl, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.MaxSteps() != DefaultMaxSteps(16) {
+		t.Fatalf("default cap %d, want %d", pl.MaxSteps(), DefaultMaxSteps(16))
+	}
+	pl, err = Compile(g, Options{MaxSteps: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.MaxSteps() != 123 {
+		t.Fatalf("explicit cap %d, want 123", pl.MaxSteps())
+	}
+}
+
+// TestPlanIsReusable: a plan holds no per-run state — repeated Run
+// calls from the same seed replay identically, including for schedulers
+// with per-run mutable sources (churn) and for runs sharing one
+// generator sequentially.
+func TestPlanIsReusable(t *testing.T) {
+	g := graph.Torus2D(3, 4)
+	churn, err := NewChurn(g, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{MaxSteps: 2000},
+		{MaxSteps: 2000, Scheduler: churn, DropRate: 0.1},
+	} {
+		pl, err := Compile(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := pl.Run(beauquier.New(), xrand.New(9))
+		b := pl.Run(beauquier.New(), xrand.New(9))
+		if a != b {
+			t.Fatalf("engine %s: same-seed runs diverged: %+v vs %+v", pl.Engine(), a, b)
+		}
+		// One generator across consecutive runs: the rewind at the end of
+		// each run must leave the stream exactly where the reference loop
+		// would, so later runs agree too.
+		rPlan, rRef := xrand.New(31), xrand.New(31)
+		for round := 0; round < 3; round++ {
+			refOpts := opts
+			refOpts.Reference = true
+			pr := pl.Run(beauquier.New(), rPlan)
+			rr := Run(g, beauquier.New(), rRef, refOpts)
+			if pr != rr {
+				t.Fatalf("engine %s round %d: %+v != %+v", pl.Engine(), round, pr, rr)
+			}
+		}
+	}
+}

@@ -14,10 +14,14 @@
 // mutable per-run state lives in the Source returned by Begin, so one
 // Scheduler value can serve concurrently executing trials.
 //
-// The uniform policy is special-cased: Run recognizes it and keeps the
-// type-specialized fast loops (engine.go), which consume the identical
-// random stream as the generic loop — plugging in Uniform explicitly is
-// byte-identical to leaving Options.Scheduler nil.
+// Plan compilation (plan.go) recognizes scheduler types: Uniform (or a
+// nil Options.Scheduler), Weighted and NodeClock each compile to a
+// monomorphized fast kernel (engine.go) consuming the identical random
+// stream as the generic Source loop — plugging in Uniform explicitly is
+// byte-identical to leaving Options.Scheduler nil, and a weighted or
+// node-clock run is byte-identical to driving the scheduler's Source
+// by hand. Churn keeps per-run mutable state and runs on the generic
+// kernel.
 package sim
 
 import (

@@ -273,3 +273,57 @@ func TestChurnComposesWithDropRate(t *testing.T) {
 		t.Fatalf("runs diverged: %+v vs %+v", res, again)
 	}
 }
+
+// TestChurnLazyMatchesStepwiseReference is the long-horizon correctness
+// check for the lazily-advanced per-edge Markov chains: over >= 10⁵
+// steps, the closed-form k-step advance (one math.Pow per contact) must
+// deliver exactly the same contact sequence as a naive reference that
+// advances each edge's up-probability one step at a time through the
+// chain recurrence p' = b + p·(1−a−b), consuming the identical draws.
+func TestChurnLazyMatchesStepwiseReference(t *testing.T) {
+	g := graph.Torus2D(3, 4) // 24 edges: mean inter-contact gap ≈ 24 steps
+	const upLen, downLen = 16.0, 6.0
+	s, err := NewChurn(g, upLen, downLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 150000
+	a, b := 1/upLen, 1/downLen
+	pi := b / (a + b)
+	rLazy := xrand.New(99)
+	lazy := s.Begin(rLazy)
+	rRef := xrand.New(99)
+	type edgeState struct {
+		up bool
+		t  int64
+	}
+	state := map[int64]edgeState{}
+	for i := int64(1); i <= steps; i++ {
+		lu, lv, lok := lazy.Next(i, rLazy)
+		ru, rv := g.SampleEdge(rRef)
+		if lu != ru || lv != rv {
+			t.Fatalf("step %d: pair (%d,%d) != reference (%d,%d)", i, lu, lv, ru, rv)
+		}
+		lo, hi := ru, rv
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := int64(lo)<<32 | int64(hi)
+		pUp := pi // stationary on first contact
+		if e, seen := state[key]; seen {
+			p := 0.0
+			if e.up {
+				p = 1.0
+			}
+			for k := e.t; k < i; k++ {
+				p = b + p*(1-a-b)
+			}
+			pUp = p
+		}
+		rok := rRef.Float64() < pUp
+		state[key] = edgeState{up: rok, t: i}
+		if lok != rok {
+			t.Fatalf("step %d: lazy delivered=%v, stepwise reference delivered=%v", i, lok, rok)
+		}
+	}
+}

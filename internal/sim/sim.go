@@ -10,14 +10,17 @@
 // weighted per-edge rates, degree-proportional node clocks, bursty link
 // churn (see scheduler.go) — for scenario diversity experiments.
 //
-// Uninstrumented runs on the concrete graph types take type-specialized
-// block-sampling hot loops (see engine.go) that are substantially faster
-// than the generic EdgeSampler loop while consuming the identical random
-// stream, so results are byte-identical either way.
+// Every run executes through a compiled execution plan (see plan.go):
+// Compile validates the configuration and selects a type-specialized
+// block-sampling kernel (engine.go) for the scheduler × graph shape —
+// uniform on the concrete graph types, weighted alias-table, node-clock
+// — with drop-rate injection folded into the fast loops and observers
+// handled by chunk boundaries. Specialized kernels consume the identical
+// random stream as the generic Source-driven reference loop, so results
+// are byte-identical whichever kernel a plan picks.
 package sim
 
 import (
-	"fmt"
 	"math"
 
 	"popgraph/internal/core"
@@ -87,9 +90,11 @@ type Options struct {
 	// MaxSteps caps the run; 0 means DefaultMaxSteps(n).
 	MaxSteps int64
 	// Scheduler selects the interaction policy (see scheduler.go); nil
-	// and Uniform{} both mean the paper's uniform pairwise scheduler,
-	// which keeps the type-specialized fast loops engaged. Schedulers
-	// must be built for the same graph passed to Run.
+	// and Uniform{} both mean the paper's uniform pairwise scheduler.
+	// Uniform, Weighted and NodeClock compile to specialized fast
+	// kernels; others run on the generic Source loop. Schedulers must be
+	// built for the same graph passed to Run (Compile rejects obvious
+	// mismatches).
 	Scheduler Scheduler
 	// Sampler overrides the pair stream directly (tests and the
 	// benchmark's reference loop); it takes precedence over Scheduler.
@@ -101,8 +106,16 @@ type Options struct {
 	// is silently dropped (no state change, still counted as a step) with
 	// this probability. Stable leader election is schedule-oblivious, so
 	// protocols still stabilize, slowed by a factor 1/(1−DropRate);
-	// experiments use this to check robustness. Must be in [0, 1).
+	// experiments use this to check robustness. Must be in [0, 1); other
+	// values are a Compile error (and a panic through the Run wrapper).
 	DropRate float64
+	// Reference forces the generic Source-driven reference kernel even
+	// when a specialized kernel exists for the configuration. The Result,
+	// observer callbacks and post-run generator state are byte-identical
+	// either way — that is the determinism contract — so the only effect
+	// is speed; equivalence tests and cmd/bench use it to time the
+	// reference loop.
+	Reference bool
 }
 
 // DefaultMaxSteps returns the default step cap: generous enough for the
@@ -140,92 +153,30 @@ type Result struct {
 	Leader int
 }
 
-// Run resets p on g and executes the stochastic scheduler until the
-// protocol reports a stable configuration or the step cap is hit.
-func Run(g graph.Graph, p Protocol, r *xrand.Rand, opts Options) Result {
-	if g.N() < 2 {
-		panic(fmt.Sprintf("sim: graph %q too small (n=%d)", g.Name(), g.N()))
+// RunE compiles (g, opts) into an execution plan and runs p on it,
+// returning an error instead of panicking on invalid configurations
+// (graphs with n < 2, drop rates outside [0, 1), schedulers built for a
+// different graph). Batch drivers use it so bad grid cells surface as
+// per-trial errors rather than recovered panics.
+func RunE(g graph.Graph, p Protocol, r *xrand.Rand, opts Options) (Result, error) {
+	pl, err := Compile(g, opts)
+	if err != nil {
+		return Result{}, err
 	}
-	p.Reset(g, r)
-	maxSteps := opts.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = DefaultMaxSteps(g.N())
-	}
-	if opts.DropRate < 0 || opts.DropRate >= 1 {
-		panic(fmt.Sprintf("sim: drop rate %v outside [0, 1)", opts.DropRate))
-	}
-	// The uniform policy (nil or Uniform{}) is the graph's own
-	// SampleEdge distribution; non-uniform schedulers route through the
-	// Source-based slow path below.
-	sched := opts.Scheduler
-	switch sched.(type) {
-	case Uniform, *Uniform:
-		sched = nil
-	}
-	if opts.Observer == nil && opts.DropRate == 0 && (sched == nil || opts.Sampler != nil) {
-		// Uninstrumented uniform runs on the concrete graph
-		// representations take the type-specialized block-sampling loops
-		// (engine.go); they consume the identical random stream, so the
-		// Result is byte-identical to the generic loop below. An explicit
-		// opts.Sampler always forces the generic loop, which equivalence
-		// tests and the benchmark use as the reference.
-		if opts.Sampler == nil {
-			switch cg := g.(type) {
-			case *graph.Dense:
-				return runDense(cg, p, r, maxSteps)
-			case graph.Clique:
-				return runClique(cg, p, r, maxSteps)
-			}
-		}
-		sampler := EdgeSampler(g)
-		if opts.Sampler != nil {
-			sampler = opts.Sampler
-		}
-		for t := int64(1); t <= maxSteps; t++ {
-			u, v := sampler.SampleEdge(r)
-			p.Step(u, v)
-			if p.Stable() {
-				return Result{Steps: t, Stabilized: true, Leader: FindLeader(g, p)}
-			}
-		}
-		return Result{Steps: maxSteps, Stabilized: false, Leader: -1}
-	}
-	var src Source
-	switch {
-	case opts.Sampler != nil:
-		src = samplerSource{opts.Sampler}
-	case sched != nil:
-		src = sched.Begin(r)
-	default:
-		src = samplerSource{g}
-	}
-	return runSlowPath(g, p, r, src, maxSteps, opts)
+	return pl.Run(p, r), nil
 }
 
-// runSlowPath is the instrumented variant of the hot loop (non-uniform
-// schedulers, observers and/or failure injection), kept separate so the
-// common path stays branch-light. For uniform runs the source wraps the
-// graph's SampleEdge and delivers every contact, so the random stream
-// matches the branch-light loop draw for draw.
-func runSlowPath(g graph.Graph, p Protocol, r *xrand.Rand, src Source,
-	maxSteps int64, opts Options) Result {
-	every := opts.ObserveEvery
-	if every <= 0 {
-		every = 1
+// Run resets p on g and executes the stochastic scheduler until the
+// protocol reports a stable configuration or the step cap is hit. It is
+// the panicking wrapper around RunE, kept for compatibility: invalid
+// configurations panic with the error Compile returned. Callers running
+// untrusted configurations should use Compile/RunE.
+func Run(g graph.Graph, p Protocol, r *xrand.Rand, opts Options) Result {
+	res, err := RunE(g, p, r, opts)
+	if err != nil {
+		panic(err)
 	}
-	for t := int64(1); t <= maxSteps; t++ {
-		u, v, ok := src.Next(t, r)
-		if ok && (opts.DropRate == 0 || r.Float64() >= opts.DropRate) {
-			p.Step(u, v)
-		}
-		if opts.Observer != nil && t%every == 0 {
-			opts.Observer.Observe(t)
-		}
-		if p.Stable() {
-			return Result{Steps: t, Stabilized: true, Leader: FindLeader(g, p)}
-		}
-	}
-	return Result{Steps: maxSteps, Stabilized: false, Leader: -1}
+	return res
 }
 
 // FindLeader scans outputs and returns the unique leader, or -1 if the

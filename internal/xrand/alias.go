@@ -83,6 +83,14 @@ func NewAlias(weights []float64) (*Alias, error) {
 // N returns the number of columns (the support size).
 func (a *Alias) N() int { return len(a.prob) }
 
+// Table exposes the table's two columns — column i is accepted when a
+// uniform [0,1) draw lands below prob[i], otherwise alias[i] is
+// returned. The simulator's monomorphized weighted and node-clock
+// kernels replay Sample's exact draw sequence from prefetched
+// randomness through these slices. Callers must treat both as
+// read-only.
+func (a *Alias) Table() (prob []float64, alias []int32) { return a.prob, a.alias }
+
 // Sample draws an index distributed proportionally to the construction
 // weights, consuming exactly one Intn and one Float64 draw.
 func (a *Alias) Sample(r *Rand) int {

@@ -94,3 +94,30 @@ func TestAliasDeterministicDrawCount(t *testing.T) {
 		}
 	}
 }
+
+// TestAliasTableReplaysSample: driving the exposed table columns with
+// the same Intn + Float64 draw sequence Sample makes must reproduce
+// Sample's outputs exactly, so monomorphized kernels can bypass the
+// method without changing any stream.
+func TestAliasTableReplaysSample(t *testing.T) {
+	a, err := NewAlias([]float64{3, 0, 1, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, alias := a.Table()
+	if len(prob) != a.N() || len(alias) != a.N() {
+		t.Fatalf("table lengths %d, %d, want %d", len(prob), len(alias), a.N())
+	}
+	rSample, rTable := New(17), New(17)
+	for i := 0; i < 5000; i++ {
+		want := a.Sample(rSample)
+		col := rTable.Intn(len(prob))
+		got := col
+		if rTable.Float64() >= prob[col] {
+			got = int(alias[col])
+		}
+		if got != want {
+			t.Fatalf("draw %d: table replay %d, Sample %d", i, got, want)
+		}
+	}
+}

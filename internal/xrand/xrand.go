@@ -140,7 +140,17 @@ func (r *Rand) Intn(n int) int {
 
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
 func (r *Rand) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	return Float64From(r.Uint64())
+}
+
+// Float64From maps one Uint64 output x to the float64 in [0, 1) that
+// Float64 would have returned for that draw. The simulator's
+// block-sampling kernels prefetch raw uint64 blocks through Fill and
+// convert in place, so a prefetched float consumes exactly one stream
+// position — the same as a live Float64 call — keeping block execution
+// byte-identical to draw-at-a-time execution.
+func Float64From(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
 }
 
 // Bool returns a fair coin flip.

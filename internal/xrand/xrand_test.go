@@ -289,3 +289,18 @@ func BenchmarkFill(b *testing.B) {
 		r.Fill(buf)
 	}
 }
+
+// TestFloat64FromMatchesFloat64: converting a prefetched Uint64 with
+// Float64From must give the exact float a live Float64 call would have
+// produced for the same stream position — the property the simulator's
+// block kernels rely on for byte-identical drop and alias decisions.
+func TestFloat64FromMatchesFloat64(t *testing.T) {
+	a, b := New(91), New(91)
+	buf := make([]uint64, 257)
+	a.Fill(buf)
+	for i, x := range buf {
+		if got, want := Float64From(x), b.Float64(); got != want {
+			t.Fatalf("draw %d: Float64From = %v, Float64 = %v", i, got, want)
+		}
+	}
+}

@@ -22,8 +22,9 @@
 //   - pluggable interaction schedulers beyond the paper's uniform
 //     pairwise model: weighted per-edge contact rates, asynchronous
 //     degree-proportional node clocks, and bursty link churn (see
-//     Scheduler and ParseScheduler); the uniform default keeps the
-//     type-specialized fast loops engaged;
+//     Scheduler and ParseScheduler); uniform, weighted and node-clock
+//     runs all compile to type-specialized block-sampling fast loops,
+//     with drop rates and observers riding along (see Compile);
 //   - the three protocols of the paper: the constant-state six-state
 //     token protocol (Theorem 16), the identifier protocol with O(n⁴)
 //     states and O(B(G)+n log n) time (Theorem 21), and the fast
@@ -411,15 +412,39 @@ func ParseScheduler(spec string, g Graph, r *Rand) (Scheduler, error) {
 // in protocols.go.
 type Protocol = sim.Protocol
 
-// Options configures a simulation run.
+// Options configures a simulation run. Invalid configurations — a graph
+// with fewer than two nodes, a drop rate outside [0, 1), a scheduler
+// built for a different graph — are rejected at plan-compile time:
+// Compile and RunE return the error, Run panics with it.
 type Options = sim.Options
 
 // Result reports the outcome of a run: stabilization step, success flag
 // and the elected leader.
 type Result = sim.Result
 
-// Run executes the stochastic scheduler on g until the protocol reaches a
-// stable configuration (or the step cap from opts is hit).
+// ExecPlan is a compiled run configuration: Compile validates the
+// (graph, scheduler, drop, observer, cap) tuple once and selects the
+// fastest execution kernel for it; the plan is immutable and can drive
+// any number of runs, concurrent ones included.
+type ExecPlan = sim.ExecPlan
+
+// Compile validates opts against g and returns the execution plan a run
+// would use, or an error describing the invalid configuration. Use it to
+// validate untrusted configurations up front or to inspect the selected
+// kernel (ExecPlan.Engine).
+func Compile(g Graph, opts Options) (*ExecPlan, error) {
+	return sim.Compile(g, opts)
+}
+
+// RunE executes the stochastic scheduler on g until the protocol reaches
+// a stable configuration (or the step cap from opts is hit), returning
+// an error instead of panicking on invalid configurations.
+func RunE(g Graph, p Protocol, r *Rand, opts Options) (Result, error) {
+	return sim.RunE(g, p, r, opts)
+}
+
+// Run is the panicking wrapper around RunE, kept for compatibility and
+// convenience with trusted configurations.
 func Run(g Graph, p Protocol, r *Rand, opts Options) Result {
 	return sim.Run(g, p, r, opts)
 }

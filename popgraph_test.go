@@ -279,3 +279,30 @@ func TestNewGraphFacade(t *testing.T) {
 		t.Fatal("disconnected graph accepted")
 	}
 }
+
+// TestCompileAndRunE: the root package re-exports the plan API — bad
+// configurations come back as errors naming the problem, good ones
+// compile to a named kernel and run identically to Run.
+func TestCompileAndRunE(t *testing.T) {
+	g := popgraph.Torus(4, 4)
+	if _, err := popgraph.Compile(g, popgraph.Options{DropRate: 2}); err == nil {
+		t.Fatal("Compile accepted drop rate 2")
+	}
+	if _, err := popgraph.RunE(g, popgraph.NewSixState(), popgraph.NewRand(1), popgraph.Options{DropRate: -1}); err == nil {
+		t.Fatal("RunE accepted drop rate -1")
+	}
+	pl, err := popgraph.Compile(g, popgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Engine() != "dense-uniform" {
+		t.Fatalf("engine %q, want dense-uniform", pl.Engine())
+	}
+	res, err := popgraph.RunE(g, popgraph.NewSixState(), popgraph.NewRand(5), popgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := popgraph.Run(g, popgraph.NewSixState(), popgraph.NewRand(5), popgraph.Options{}); res != want {
+		t.Fatalf("RunE %+v != Run %+v", res, want)
+	}
+}
