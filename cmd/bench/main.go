@@ -20,7 +20,11 @@
 //	bench -quick -compare BENCH_sim.json
 //	                                  # regression gate: exit 1 if any cell's
 //	                                  # specialized ns/step is >30% above the
-//	                                  # committed baseline's
+//	                                  # committed baseline's; prints the full
+//	                                  # per-cell delta table either way
+//	bench -quick -compare BENCH_sim.json -summary delta.md
+//	                                  # also write the delta table as markdown
+//	                                  # (CI appends it to the step summary)
 package main
 
 import (
@@ -40,15 +44,22 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress per-cell progress output")
 		compare = flag.String("compare", "", "baseline BENCH_sim.json to gate against (exit 1 on regression)")
 		tol     = flag.Float64("compare-tol", 0.30, "regression tolerance for -compare as a fraction (0.30 = 30%)")
+		summary = flag.String("summary", "", "write the -compare delta table as markdown to this file (CI step summaries)")
 	)
 	flag.Parse()
-	if err := run(*out, *seed, *quick, *quiet, *compare, *tol); err != nil {
+	if err := run(*out, *seed, *quick, *quiet, *compare, *tol, *summary); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, seed uint64, quick, quiet bool, compare string, tol float64) error {
+func run(out string, seed uint64, quick, quiet bool, compare string, tol float64, summary string) error {
+	// Flag-consistency errors must fire before the grid runs — the full
+	// grid takes minutes, and discovering a bad flag combination after
+	// it would waste the whole measurement.
+	if summary != "" && compare == "" {
+		return fmt.Errorf("-summary requires -compare (the delta table diffs against a baseline)")
+	}
 	// Load the baseline before anything writes: -out and -compare may
 	// name the same file (`bench -compare BENCH_sim.json` with the
 	// default -out), and writing first would clobber the baseline and
@@ -83,15 +94,15 @@ func run(out string, seed uint64, quick, quiet bool, compare string, tol float64
 	t := table.New(fmt.Sprintf("engine throughput (%s, %s/%s, seed %d)",
 		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.Seed),
 		"graph", "sched", "protocol", "drop", "engine", "n", "m",
-		"spec ns/step", "spec steps/s", "gen ns/step", "gen steps/s", "speedup")
+		"spec ns/step", "iface ns/step", "gen ns/step", "speedup", "table")
 	for _, m := range rep.Results {
-		t.AddRow(m.Graph, m.Scheduler, m.Protocol, m.Drop, m.Engine, m.N, m.M,
-			m.Specialized.NsPerStep, m.Specialized.StepsPerSec,
-			m.Generic.NsPerStep, m.Generic.StepsPerSec,
-			fmt.Sprintf("%.2fx", m.Speedup))
+		t.AddRow(m.Graph, m.Scheduler, m.Protocol, m.Drop,
+			m.Engine+"/"+m.ProtocolEngine, m.N, m.M,
+			m.Specialized.NsPerStep, m.Interface.NsPerStep, m.Generic.NsPerStep,
+			fmt.Sprintf("%.2fx", m.Speedup), fmt.Sprintf("%.2fx", m.TableSpeedup))
 	}
 	t.WriteText(os.Stdout)
-	fmt.Printf("max speedup: %.2fx\n", rep.MaxSpeedup)
+	fmt.Printf("max speedup: %.2fx  max table speedup: %.2fx\n", rep.MaxSpeedup, rep.MaxTableSpeedup)
 
 	if out != "" {
 		f, err := os.Create(out)
@@ -111,6 +122,38 @@ func run(out string, seed uint64, quick, quiet bool, compare string, tol float64
 	}
 
 	if compare != "" {
+		// The full per-cell delta picture first — the gate's pass/fail
+		// verdict alone hides how close each cell sits to the threshold.
+		deltas := bench.DeltaTable(rep, base, tol)
+		dt := table.New(fmt.Sprintf("per-cell delta vs %s (best-trial specialized ns/step, tolerance %.0f%%)",
+			compare, 100*tol),
+			"graph", "sched", "protocol", "drop", "engine",
+			"base ns/step", "cur ns/step", "delta", "status")
+		for _, d := range deltas {
+			delta := "—"
+			if d.Status == "ok" || d.Status == "regressed" {
+				delta = fmt.Sprintf("%+.1f%%", 100*d.Delta)
+			}
+			dt.AddRow(d.GraphSpec, d.Scheduler, d.Protocol, d.Drop,
+				d.Engine+"/"+d.ProtocolEngine, d.BaseNs, d.CurNs, delta, d.Status)
+		}
+		dt.WriteText(os.Stdout)
+		if summary != "" {
+			f, err := os.Create(summary)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteDeltaMarkdown(f, deltas, tol); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "bench: wrote %s\n", summary)
+			}
+		}
 		if msgs := bench.Compare(rep, base, tol); len(msgs) > 0 {
 			for _, msg := range msgs {
 				fmt.Fprintln(os.Stderr, "bench: REGRESSION:", msg)

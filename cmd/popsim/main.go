@@ -14,7 +14,7 @@
 //
 // Graphs: clique:N cycle:N path:N star:N hypercube:D torus:RxC grid:RxC
 // lollipop:K:P barbell:K:P gnp:N:P regular:N:D ws:N:K:BETA ba:N:M.
-// Protocols: six-state | identifier | identifier-regular | fast | star.
+// Protocols: six-state | identifier | identifier-regular | fast | star | majority:FRAC.
 // Schedulers: uniform | weighted[:exp|:degprod] | node-clock |
 // churn:UP:DOWN.
 package main
@@ -34,7 +34,7 @@ func main() {
 	var (
 		graphSpec = flag.String("graph", "clique:128", "graph spec, e.g. torus:16x16")
 		schedSpec = flag.String("scheduler", "uniform", "interaction scheduler: uniform|weighted[:exp|:degprod]|node-clock|churn:UP:DOWN")
-		protoSpec = flag.String("protocol", "six-state", "protocol: six-state|identifier|identifier-regular|fast|star")
+		protoSpec = flag.String("protocol", "six-state", "protocol: six-state|identifier|identifier-regular|fast|star|majority:FRAC")
 		seed      = flag.Uint64("seed", 1, "base random seed")
 		trialsN   = flag.Int("trials", 5, "number of independent runs")
 		maxSteps  = flag.Int64("max-steps", 0, "step cap per run (0 = automatic 72·n⁴·log₂n, sized for the slowest protocol/graph pair — set explicitly for large n if runs may not stabilize)")

@@ -37,7 +37,7 @@ func main() {
 		graphs    = flag.String("graphs", "", "comma-separated graph templates, N = size rung (e.g. clique:N,torus:NxN)")
 		sizes     = flag.String("sizes", "", "comma-separated size ladder substituted for N")
 		scheds    = flag.String("schedulers", "", "comma-separated schedulers (uniform|weighted[:exp|:degprod]|node-clock|churn:UP:DOWN)")
-		protocols = flag.String("protocols", "", "comma-separated protocols (six-state|identifier|identifier-regular|fast|star)")
+		protocols = flag.String("protocols", "", "comma-separated protocols (six-state|identifier|identifier-regular|fast|star|majority:FRAC)")
 		drops     = flag.String("drop", "", "comma-separated drop rates in [0,1)")
 		trialsN   = flag.Int("trials", 0, "trials per grid cell")
 		seed      = flag.Uint64("seed", 1, "base random seed (overrides the spec file's)")

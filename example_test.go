@@ -50,6 +50,30 @@ func ExampleNewStarProtocol() {
 	// steps: 1
 }
 
+// Compile exposes the execution plan a run would use: the scheduler
+// kernel for the graph shape and, per protocol, the dispatch — a
+// constant-state (Tabular) protocol like the six-state baseline fuses
+// into a transition-table kernel with no interface calls in the hot
+// loop. RunE is the error-returning way to execute the same plan.
+func ExampleCompile() {
+	r := popgraph.NewRand(6)
+	g := popgraph.Torus(8, 8)
+	plan, err := popgraph.Compile(g, popgraph.Options{})
+	if err != nil {
+		panic(err)
+	}
+	p := popgraph.NewSixState()
+	fmt.Println("engine:", plan.Engine(), "dispatch:", plan.ProtocolEngine(p))
+	res, err := popgraph.RunE(g, p, r, popgraph.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("stabilized:", res.Stabilized, "leaders:", p.Leaders())
+	// Output:
+	// engine: dense-uniform dispatch: table
+	// stabilized: true leaders: 1
+}
+
 // Exact majority is the extension module suggested by the paper's
 // conclusions: same token random-walk techniques, different problem.
 func ExampleRunMajority() {

@@ -38,8 +38,11 @@ import (
 // Schema identifies the BENCH_sim.json layout; bump on breaking changes.
 // v2 added the scheduler dimension; v3 added the drop dimension and the
 // per-cell engine name, and made every non-generic cell a real
-// fast-vs-reference comparison.
-const Schema = "popgraph-bench/v3"
+// fast-vs-reference comparison; v4 added the protocol-compilation axis:
+// the per-cell protocol engine name ("table" for fused transition-table
+// kernels, "step" for interface dispatch), the interface-dispatch
+// timing and the table-vs-interface speedup.
+const Schema = "popgraph-bench/v4"
 
 // Config is one grid cell: a graph, scheduler and protocol spec with
 // the trial shape. Steps caps every trial, so cells are timed over
@@ -81,22 +84,33 @@ type Measurement struct {
 	Protocol  string `json:"protocol"`
 	// Drop is the cell's injected drop rate (omitted when 0).
 	Drop float64 `json:"drop,omitempty"`
-	// Engine is the kernel the cell's execution plan compiled to:
-	// "dense-uniform", "clique-uniform", "weighted", "node-clock" or
+	// Engine is the scheduler kernel the cell's execution plan compiled
+	// to: "dense-uniform", "clique-uniform", "weighted", "node-clock" or
 	// "generic" (sim.ExecPlan.Engine).
 	Engine string `json:"engine"`
-	N      int    `json:"n"`
-	M      int    `json:"m"`
-	Trials int    `json:"trials"`
-	// Specialized times the compiled kernel; Generic times the
-	// Source-driven reference loop that Options.Reference forces. When
-	// Engine is "generic" the two are the same loop, so it is timed once
-	// and the stats copied.
+	// ProtocolEngine is the protocol dispatch of the cell's fast path:
+	// "table" when the protocol fuses into the kernel's transition-table
+	// variant, "step" for Protocol.Step interface dispatch
+	// (sim.ExecPlan.ProtocolEngine).
+	ProtocolEngine string `json:"protocol_engine"`
+	N              int    `json:"n"`
+	M              int    `json:"m"`
+	Trials         int    `json:"trials"`
+	// Specialized times the full fast path (the fused table kernel on
+	// "table" cells); Interface times the same scheduler kernel with
+	// table fusion disabled (Options.NoTable) — on "step" cells it is
+	// the same loop, timed once and copied; Generic times the
+	// Source-driven reference loop that Options.Reference forces (also
+	// copied when Engine is "generic").
 	Specialized EngineStats `json:"specialized"`
+	Interface   EngineStats `json:"interface"`
 	Generic     EngineStats `json:"generic"`
 	// Speedup is generic ns/step divided by specialized ns/step;
-	// exactly 1 on generic-engine cells.
-	Speedup float64 `json:"speedup"`
+	// exactly 1 on generic-engine cells. TableSpeedup is interface
+	// ns/step divided by specialized ns/step — the pure
+	// protocol-compilation win; exactly 1 on "step" cells.
+	Speedup      float64 `json:"speedup"`
+	TableSpeedup float64 `json:"table_speedup"`
 }
 
 // key identifies a cell for baseline comparison.
@@ -112,19 +126,24 @@ type Report struct {
 	GOARCH    string `json:"goarch"`
 	Seed      uint64 `json:"seed"`
 	// MaxSpeedup is the best specialized-over-generic ratio in the grid,
-	// the single number the perf trajectory tracks.
-	MaxSpeedup float64       `json:"max_speedup"`
-	Results    []Measurement `json:"results"`
+	// the single number the perf trajectory tracks; MaxTableSpeedup is
+	// the best table-over-interface ratio, tracking the protocol-
+	// compilation axis the same way.
+	MaxSpeedup      float64       `json:"max_speedup"`
+	MaxTableSpeedup float64       `json:"max_table_speedup"`
+	Results         []Measurement `json:"results"`
 }
 
 // DefaultGrid returns the standard grid: the six-state baseline on every
 // concrete representation (implicit clique, CSR torus/lollipop/cycle)
 // plus one identifier and one fast cell; a scheduler dimension — the
 // six-state torus cell repeated under the weighted, node-clock and churn
-// schedulers, each now a real fast-vs-reference comparison; and a drop
+// schedulers, each now a real fast-vs-reference comparison; a drop
 // dimension — the uniform and weighted torus cells repeated at drop 0.1,
-// covering the in-kernel drop fast path. quick shrinks the work for
-// smoke tests.
+// covering the in-kernel drop fast path; and a protocol dimension — the
+// four-state majority cell, the second Tabular protocol, so the
+// table-vs-interface axis is gated on more than one transition table.
+// quick shrinks the work for smoke tests.
 func DefaultGrid(quick bool) []Config {
 	steps, trials := int64(1<<21), 3
 	if quick {
@@ -148,6 +167,7 @@ func DefaultGrid(quick bool) []Config {
 		{GraphSpec: "torus:32x32", Scheduler: "churn:64:16", Protocol: "six-state", Steps: steps, Trials: trials},
 		{GraphSpec: "torus:32x32", Protocol: "six-state", Drop: 0.1, Steps: steps, Trials: trials},
 		{GraphSpec: "torus:32x32", Scheduler: "weighted:exp", Protocol: "six-state", Drop: 0.1, Steps: steps, Trials: trials},
+		{GraphSpec: "torus:32x32", Protocol: "majority:0.75", Steps: steps, Trials: trials},
 	}
 }
 
@@ -170,11 +190,15 @@ func Run(cfgs []Config, seed uint64, logf func(format string, args ...interface{
 		if m.Speedup > rep.MaxSpeedup {
 			rep.MaxSpeedup = m.Speedup
 		}
+		if m.TableSpeedup > rep.MaxTableSpeedup {
+			rep.MaxTableSpeedup = m.TableSpeedup
+		}
 		rep.Results = append(rep.Results, m)
 		if logf != nil {
-			logf("bench: %-16s × %-12s × %-10s × drop %.2g  [%s]  specialized %6.2f ns/step  generic %6.2f ns/step  speedup %.2fx",
-				m.Graph, m.Scheduler, m.Protocol, m.Drop, m.Engine,
-				m.Specialized.NsPerStep, m.Generic.NsPerStep, m.Speedup)
+			logf("bench: %-16s × %-12s × %-18s × drop %.2g  [%s/%s]  specialized %6.2f ns/step  interface %6.2f  generic %6.2f  speedup %.2fx  table %.2fx",
+				m.Graph, m.Scheduler, m.Protocol, m.Drop, m.Engine, m.ProtocolEngine,
+				m.Specialized.NsPerStep, m.Interface.NsPerStep, m.Generic.NsPerStep,
+				m.Speedup, m.TableSpeedup)
 		}
 	}
 	return rep, nil
@@ -209,26 +233,38 @@ func measure(cfg Config, seed uint64) (Measurement, error) {
 		return Measurement{}, err
 	}
 	m := Measurement{
-		Graph:     g.Name(),
-		GraphSpec: cfg.GraphSpec,
-		Scheduler: sched.Name(),
-		Protocol:  factory().Name(),
-		Drop:      cfg.Drop,
-		Engine:    plan.Engine(),
-		N:         g.N(),
-		M:         g.M(),
-		Trials:    cfg.Trials,
+		Graph:          g.Name(),
+		GraphSpec:      cfg.GraphSpec,
+		Scheduler:      sched.Name(),
+		Protocol:       factory().Name(),
+		Drop:           cfg.Drop,
+		Engine:         plan.Engine(),
+		ProtocolEngine: plan.ProtocolEngine(factory()),
+		N:              g.N(),
+		M:              g.M(),
+		Trials:         cfg.Trials,
 	}
-	// Time the compiled kernel, then the Source-driven reference loop
-	// that Options.Reference forces. Cells whose plan is the generic
-	// kernel already (churn) have no second engine to time — a second
-	// timing of the identical loop would only measure noise — so they
-	// are timed once and the stats copied, making the speedup exactly 1.
+	// Time the full fast path (fused table kernel on "table" cells),
+	// then the interface-dispatch variant on the same scheduler kernel
+	// (Options.NoTable), then the Source-driven reference loop that
+	// Options.Reference forces. Paths that coincide with one already
+	// timed — "step" cells have no separate interface variant, generic-
+	// engine cells (churn) no separate reference loop — are timed once
+	// and the stats copied, making the corresponding speedup exactly 1.
 	spec, err := timeEngine(g, factory, seed, cfg, opts)
 	if err != nil {
 		return Measurement{}, err
 	}
-	gen := spec
+	iface := spec
+	if m.ProtocolEngine == "table" {
+		ifaceOpts := opts
+		ifaceOpts.NoTable = true
+		iface, err = timeEngine(g, factory, seed, cfg, ifaceOpts)
+		if err != nil {
+			return Measurement{}, err
+		}
+	}
+	gen := iface
 	if m.Engine != "generic" {
 		refOpts := opts
 		refOpts.Reference = true
@@ -237,9 +273,10 @@ func measure(cfg Config, seed uint64) (Measurement, error) {
 			return Measurement{}, err
 		}
 	}
-	m.Specialized, m.Generic = spec, gen
+	m.Specialized, m.Interface, m.Generic = spec, iface, gen
 	if spec.NsPerStep > 0 {
 		m.Speedup = gen.NsPerStep / spec.NsPerStep
+		m.TableSpeedup = iface.NsPerStep / spec.NsPerStep
 	}
 	return m, nil
 }
@@ -293,6 +330,129 @@ func timeEngine(g popgraph.Graph, factory func() popgraph.Protocol, seed uint64,
 	}, nil
 }
 
+// gateNs is the statistic the regression gate and the delta table run
+// on: best-trial specialized ns/step, falling back to the aggregate for
+// hand-edited baselines that lack the best-of-trials field.
+func gateNs(e EngineStats) float64 {
+	if e.BestNsPerStep > 0 {
+		return e.BestNsPerStep
+	}
+	return e.NsPerStep
+}
+
+// CellDelta is one row of the per-cell comparison against a baseline:
+// the cell identity, both gate statistics and the relative change.
+type CellDelta struct {
+	GraphSpec, Scheduler, Protocol string
+	Drop                           float64
+	Engine, ProtocolEngine         string
+	// BaseNs and CurNs are the gate statistic (best-trial specialized
+	// ns/step) on each side; zero when the cell is missing from that
+	// side.
+	BaseNs, CurNs float64
+	// Delta is CurNs/BaseNs − 1 (negative = faster); meaningful only
+	// for matched cells.
+	Delta float64
+	// Status classifies the row: "ok", "regressed" (Delta beyond the
+	// tolerance), "new" (no baseline cell) or "removed" (no current
+	// cell).
+	Status string
+}
+
+// DeltaTable diffs cur against a baseline cell by cell and returns one
+// row per cell on either side — matched cells with their relative
+// change and regression verdict at tolerance tol, then cells present
+// only in the current grid ("new"), with baseline-only cells ("removed")
+// at the end. Unlike Compare, which reports only failures for the CI
+// gate, the delta table is the full picture a human (or a CI step
+// summary) reads.
+func DeltaTable(cur, base Report, tol float64) []CellDelta {
+	baseline := make(map[string]Measurement, len(base.Results))
+	for _, m := range base.Results {
+		baseline[m.key()] = m
+	}
+	var rows []CellDelta
+	for _, m := range cur.Results {
+		row := CellDelta{
+			GraphSpec:      m.GraphSpec,
+			Scheduler:      m.Scheduler,
+			Protocol:       m.Protocol,
+			Drop:           m.Drop,
+			Engine:         m.Engine,
+			ProtocolEngine: m.ProtocolEngine,
+			CurNs:          gateNs(m.Specialized),
+		}
+		row.Status = "new"
+		if b, ok := baseline[m.key()]; ok {
+			delete(baseline, m.key())
+			if base := gateNs(b.Specialized); base > 0 {
+				row.BaseNs = base
+				row.Delta = row.CurNs/row.BaseNs - 1
+				row.Status = "ok"
+				if row.Delta > tol {
+					row.Status = "regressed"
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	// Deterministic order for the leftover baseline-only cells: baseline
+	// report order.
+	for _, b := range base.Results {
+		if _, ok := baseline[b.key()]; !ok {
+			continue
+		}
+		rows = append(rows, CellDelta{
+			GraphSpec:      b.GraphSpec,
+			Scheduler:      b.Scheduler,
+			Protocol:       b.Protocol,
+			Drop:           b.Drop,
+			Engine:         b.Engine,
+			ProtocolEngine: b.ProtocolEngine,
+			BaseNs:         gateNs(b.Specialized),
+			Status:         "removed",
+		})
+	}
+	return rows
+}
+
+// WriteDeltaMarkdown renders a DeltaTable as a GitHub-flavored markdown
+// table; CI appends it to the job's step summary so the per-cell
+// picture ships with every bench-smoke run.
+func WriteDeltaMarkdown(w io.Writer, rows []CellDelta, tol float64) error {
+	if _, err := fmt.Fprintf(w, "### bench -compare deltas (tolerance %.0f%%)\n\n", 100*tol); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| graph | scheduler | protocol | drop | engine | base ns/step | cur ns/step | delta | status |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| --- | --- | --- | --- | --- | --- | --- | --- | --- |"); err != nil {
+		return err
+	}
+	fmtNs := func(v float64) string {
+		if v <= 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	for _, r := range rows {
+		delta := "—"
+		if r.Status == "ok" || r.Status == "regressed" {
+			delta = fmt.Sprintf("%+.1f%%", 100*r.Delta)
+		}
+		status := r.Status
+		if status == "regressed" {
+			status = "**regressed**"
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %g | %s/%s | %s | %s | %s | %s |\n",
+			r.GraphSpec, r.Scheduler, r.Protocol, r.Drop, r.Engine, r.ProtocolEngine,
+			fmtNs(r.BaseNs), fmtNs(r.CurNs), delta, status); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Compare checks cur against a committed baseline and returns one
 // message per regressed cell: a cell regresses when its specialized
 // best-trial ns/step exceeds the baseline cell's by more than tol (a
@@ -310,14 +470,6 @@ func Compare(cur, base Report, tol float64) []string {
 	baseline := make(map[string]Measurement, len(base.Results))
 	for _, m := range base.Results {
 		baseline[m.key()] = m
-	}
-	gateNs := func(e EngineStats) float64 {
-		// Fall back to the aggregate for hand-edited baselines that
-		// lack the best-of-trials field.
-		if e.BestNsPerStep > 0 {
-			return e.BestNsPerStep
-		}
-		return e.NsPerStep
 	}
 	var msgs []string
 	matched := 0

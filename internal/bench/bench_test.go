@@ -111,6 +111,101 @@ func TestRunSchedulerCells(t *testing.T) {
 	}
 }
 
+// TestRunProtocolEngineCells: the protocol-compilation axis. Tabular
+// protocols record protocol_engine "table" with a real table-vs-
+// interface timing over identical work; non-tabular protocols record
+// "step" with the interface stats copied and table speedup exactly 1.
+func TestRunProtocolEngineCells(t *testing.T) {
+	cfgs := []Config{
+		{GraphSpec: "torus:8x8", Protocol: "six-state", Steps: 1 << 12, Trials: 1},
+		{GraphSpec: "torus:8x8", Protocol: "majority:0.75", Steps: 1 << 12, Trials: 1},
+		{GraphSpec: "torus:8x8", Protocol: "identifier", Steps: 1 << 12, Trials: 1},
+		{GraphSpec: "torus:8x8", Scheduler: "churn:16:4", Protocol: "six-state", Steps: 1 << 12, Trials: 1},
+	}
+	rep, err := Run(cfgs, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProtoEngines := []string{"table", "table", "step", "step"}
+	for i, m := range rep.Results {
+		if m.ProtocolEngine != wantProtoEngines[i] {
+			t.Fatalf("cell %d protocol engine %q, want %q", i, m.ProtocolEngine, wantProtoEngines[i])
+		}
+		if m.Specialized.Steps != m.Interface.Steps || m.Interface.Steps != m.Generic.Steps {
+			t.Fatalf("cell %d timed different work: %d / %d / %d steps",
+				i, m.Specialized.Steps, m.Interface.Steps, m.Generic.Steps)
+		}
+		if m.TableSpeedup <= 0 {
+			t.Fatalf("cell %d table speedup %v", i, m.TableSpeedup)
+		}
+	}
+	// "step" cells have no separate interface variant: stats copied,
+	// table speedup exactly 1. The churn cell additionally copies the
+	// generic stats (one loop, timed once).
+	id := rep.Results[2]
+	if id.Interface != id.Specialized || id.TableSpeedup != 1 {
+		t.Fatalf("step cell timed a phantom interface variant: %+v", id)
+	}
+	churn := rep.Results[3]
+	if churn.Interface != churn.Specialized || churn.Generic != churn.Specialized ||
+		churn.Speedup != 1 || churn.TableSpeedup != 1 {
+		t.Fatalf("generic step cell timed twice: %+v", churn)
+	}
+	if rep.MaxTableSpeedup < rep.Results[0].TableSpeedup {
+		t.Fatalf("max table speedup %v below cell %v", rep.MaxTableSpeedup, rep.Results[0].TableSpeedup)
+	}
+}
+
+// TestDeltaTable: the per-cell -compare rendering classifies matched,
+// regressed, new and removed cells and the markdown writer names them.
+func TestDeltaTable(t *testing.T) {
+	cell := func(graph, proto string, ns float64) Measurement {
+		return Measurement{
+			GraphSpec: graph, Scheduler: "uniform", Protocol: proto,
+			Engine: "dense-uniform", ProtocolEngine: "table",
+			Specialized: EngineStats{Steps: 1, NsPerStep: ns, BestNsPerStep: ns},
+		}
+	}
+	base := Report{Results: []Measurement{
+		cell("torus:8x8", "six-state", 10),
+		cell("cycle:64", "six-state", 10),
+		cell("lollipop:8:8", "six-state", 10),
+	}}
+	cur := Report{Results: []Measurement{
+		cell("torus:8x8", "six-state", 11), // +10%: ok
+		cell("cycle:64", "six-state", 20),  // +100%: regressed
+		cell("clique:64", "six-state", 5),  // new
+	}}
+	rows := DeltaTable(cur, base, 0.30)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(rows), rows)
+	}
+	wantStatus := map[string]string{
+		"torus:8x8":    "ok",
+		"cycle:64":     "regressed",
+		"clique:64":    "new",
+		"lollipop:8:8": "removed",
+	}
+	for _, r := range rows {
+		if r.Status != wantStatus[r.GraphSpec] {
+			t.Fatalf("%s: status %q, want %q", r.GraphSpec, r.Status, wantStatus[r.GraphSpec])
+		}
+	}
+	if d := rows[0].Delta; d < 0.09 || d > 0.11 {
+		t.Fatalf("torus delta %v, want ~0.10", d)
+	}
+	var buf bytes.Buffer
+	if err := WriteDeltaMarkdown(&buf, rows, 0.30); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	for _, want := range []string{"**regressed**", "| torus:8x8 |", "removed", "new", "+100.0%"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
 func TestCompare(t *testing.T) {
 	cell := func(graph, sched, proto string, ns float64) Measurement {
 		return Measurement{
@@ -172,9 +267,10 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		`"schema": "popgraph-bench/v3"`, `"steps_per_sec"`, `"ns_per_step"`,
+		`"schema": "popgraph-bench/v4"`, `"steps_per_sec"`, `"ns_per_step"`,
 		`"speedup"`, `"max_speedup"`, `"clique-32"`, `"scheduler": "uniform"`,
-		`"engine": "clique-uniform"`,
+		`"engine": "clique-uniform"`, `"protocol_engine": "table"`,
+		`"interface"`, `"table_speedup"`, `"max_table_speedup"`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("JSON missing %q:\n%s", want, out)
@@ -197,7 +293,7 @@ func TestDefaultGrid(t *testing.T) {
 	if len(full) != len(quick) || len(full) == 0 {
 		t.Fatalf("grid sizes %d, %d", len(full), len(quick))
 	}
-	sixState, dropCells := 0, 0
+	sixState, dropCells, majorityCells := 0, 0, 0
 	for i := range full {
 		if full[i].Steps <= quick[i].Steps {
 			t.Fatalf("quick grid not smaller: %+v vs %+v", full[i], quick[i])
@@ -208,11 +304,17 @@ func TestDefaultGrid(t *testing.T) {
 		if full[i].Drop > 0 {
 			dropCells++
 		}
+		if strings.HasPrefix(full[i].Protocol, "majority:") {
+			majorityCells++
+		}
 	}
 	if sixState < 2 {
 		t.Fatalf("default grid has %d six-state cells, want >= 2", sixState)
 	}
 	if dropCells < 2 {
 		t.Fatalf("default grid has %d drop>0 cells, want >= 2 (the in-kernel drop fast path must stay gated)", dropCells)
+	}
+	if majorityCells < 1 {
+		t.Fatal("default grid lost its majority cell; the second transition table must stay gated")
 	}
 }

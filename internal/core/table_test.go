@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// sixStateTable compiles the token machine the way the beauquier package
+// does, directly from TokenTransition: states are the TokenState byte
+// values 0..5, the gap functional is #black + #white − 1 (zero exactly
+// on stable configurations, via the invariant #black >= 1).
+func sixStateTable(t *testing.T) *TransitionTable {
+	t.Helper()
+	tab, err := NewTransitionTable(6,
+		func(a, b uint8) (uint8, uint8) {
+			na, nb := TokenTransition(TokenState(a), TokenState(b))
+			return uint8(na), uint8(nb)
+		},
+		func(s uint8) Role { return TokenState(s).Role() },
+		func(s uint8) int {
+			if tok := TokenState(s).Token(); tok == TokenBlack || tok == TokenWhite {
+				return 1
+			}
+			return 0
+		},
+		1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestTableMatchesTokenTransition: every cell decodes back to exactly
+// what TokenTransition produces, and Apply's in-place update plus delta
+// return agree with recomputing counters from scratch.
+func TestTableMatchesTokenTransition(t *testing.T) {
+	tab := sixStateTable(t)
+	if tab.K() != 6 || len(tab.Cells()) != 36 {
+		t.Fatalf("table shape k=%d cells=%d", tab.K(), len(tab.Cells()))
+	}
+	for a := uint8(0); a < 6; a++ {
+		if tab.Role(a) != TokenState(a).Role() {
+			t.Fatalf("state %d role %v, want %v", a, tab.Role(a), TokenState(a).Role())
+		}
+		for b := uint8(0); b < 6; b++ {
+			wa, wb := TokenTransition(TokenState(a), TokenState(b))
+			na, nb := tab.Next(a, b)
+			if TokenState(na) != wa || TokenState(nb) != wb {
+				t.Fatalf("(%d,%d): table (%d,%d), TokenTransition (%d,%d)", a, b, na, nb, wa, wb)
+			}
+			states := []uint8{a, b}
+			beforeL, beforeG := tab.Counters(states)
+			dl, dg := tab.Apply(states, 0, 1)
+			afterL, afterG := tab.Counters(states)
+			if states[0] != na || states[1] != nb {
+				t.Fatalf("(%d,%d): Apply wrote (%d,%d), want (%d,%d)", a, b, states[0], states[1], na, nb)
+			}
+			if beforeL+dl != afterL || beforeG+dg != afterG {
+				t.Fatalf("(%d,%d): deltas (%d,%d) disagree with scans (%d->%d, %d->%d)",
+					a, b, dl, dg, beforeL, afterL, beforeG, afterG)
+			}
+		}
+	}
+}
+
+// TestTableCountersMatchTokenCounts: on random-ish configurations the
+// table's scan counters agree with the semantic TokenCounts — leaders
+// with Candidates, gap == 0 with Stable().
+func TestTableCountersMatchTokenCounts(t *testing.T) {
+	tab := sixStateTable(t)
+	configs := [][]uint8{
+		{uint8(CandidateBlack), uint8(CandidateBlack), uint8(CandidateBlack)},
+		{uint8(CandidateBlack), uint8(FollowerNone), uint8(FollowerNone)},
+		{uint8(CandidateNone), uint8(FollowerBlack), uint8(FollowerWhite), uint8(CandidateBlack)},
+		{uint8(FollowerNone), uint8(FollowerBlack), uint8(CandidateNone)},
+	}
+	for _, states := range configs {
+		var c TokenCounts
+		for _, s := range states {
+			c.Add(TokenState(s), 1)
+		}
+		leaders, gap := tab.Counters(states)
+		if leaders != c.Candidates {
+			t.Fatalf("%v: leaders %d, Candidates %d", states, leaders, c.Candidates)
+		}
+		if (gap == 0) != c.Stable() {
+			t.Fatalf("%v: gap %d (stable=%v), TokenCounts.Stable %v", states, gap, gap == 0, c.Stable())
+		}
+	}
+}
+
+// TestTableBuilderValidation: the compiler rejects malformed machines
+// with errors naming the problem.
+func TestTableBuilderValidation(t *testing.T) {
+	identity := func(a, b uint8) (uint8, uint8) { return a, b }
+	follower := func(uint8) Role { return Follower }
+	zero := func(uint8) int { return 0 }
+	cases := []struct {
+		name string
+		k    int
+		step func(a, b uint8) (uint8, uint8)
+		role func(s uint8) Role
+		gapW func(s uint8) int
+		want string
+	}{
+		{"k-zero", 0, identity, follower, zero, "state count"},
+		{"k-huge", MaxTableStates + 1, identity, follower, zero, "state count"},
+		{"escaping-successor", 2, func(a, b uint8) (uint8, uint8) { return 7, b }, follower, zero, "leaves"},
+		{"bad-role", 2, identity, func(uint8) Role { return Role(9) }, zero, "invalid role"},
+		{"delta-overflow", 2, func(a, b uint8) (uint8, uint8) { return 1, 1 }, follower,
+			func(s uint8) int { return int(s) * 1000 }, "overflow"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewTransitionTable(c.k, c.step, c.role, c.gapW, 0)
+			if err == nil {
+				t.Fatal("builder accepted a malformed machine")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

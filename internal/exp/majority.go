@@ -13,6 +13,7 @@ import (
 
 	"popgraph/internal/graph"
 	"popgraph/internal/protocols/majority"
+	"popgraph/internal/sim"
 	"popgraph/internal/stats"
 	"popgraph/internal/table"
 	"popgraph/internal/xrand"
@@ -43,11 +44,11 @@ func init() {
 							}
 							p := majority.New(in)
 							r := xrand.New(cfg.Seed + uint64(i)*1009 + uint64(n))
-							steps, ok := p.Run(g, r, 1<<42)
-							if !ok {
+							res := sim.Run(g, p, r, sim.Options{})
+							if !res.Stabilized {
 								return fmt.Errorf("majority did not stabilize on %s", g.Name())
 							}
-							xs = append(xs, float64(steps))
+							xs = append(xs, float64(res.Steps))
 						}
 						s := stats.Summarize(xs)
 						shape := gs.h * float64(n) * math.Log2(float64(n))

@@ -50,6 +50,31 @@ func TestInvariantsDuringRun(t *testing.T) {
 	}
 }
 
+// TestCountersAccurateAfterFusedRun: the fused table kernels mutate the
+// state array behind Step's back and ReloadCounters rebuilds the token
+// counters at the end of the run — Counts(), Leaders() and Stable()
+// must agree with a full scan afterwards, for capped and stabilized
+// runs alike.
+func TestCountersAccurateAfterFusedRun(t *testing.T) {
+	g := graph.Torus2D(4, 4)
+	for _, maxSteps := range []int64{100, 0} {
+		p := New()
+		res := sim.Run(g, p, xrand.New(8), sim.Options{MaxSteps: maxSteps})
+		if pl, err := sim.Compile(g, sim.Options{}); err != nil || pl.ProtocolEngine(p) != "table" {
+			t.Fatalf("run did not take the fused path (%v, %v)", pl.ProtocolEngine(p), err)
+		}
+		if got := scanCounts(p, g.N()); got != p.Counts() {
+			t.Fatalf("cap %d: counters %+v != scan %+v", maxSteps, p.Counts(), got)
+		}
+		if p.Leaders() != sim.CountLeaders(g, p) {
+			t.Fatalf("cap %d: Leaders() %d != scan %d", maxSteps, p.Leaders(), sim.CountLeaders(g, p))
+		}
+		if p.Stable() != res.Stabilized {
+			t.Fatalf("cap %d: Stable() %v but run reported %v", maxSteps, p.Stable(), res.Stabilized)
+		}
+	}
+}
+
 func TestStabilizesOnFamilies(t *testing.T) {
 	graphs := []graph.Graph{
 		graph.NewClique(16),

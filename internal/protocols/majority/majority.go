@@ -21,17 +21,28 @@
 // so stabilization takes O(H(G)·n·log n) expected steps — the same bound
 // as the six-state leader election protocol. Ties (equal counts) never
 // stabilize and are rejected as input.
+//
+// The protocol implements sim.Protocol so it runs through the compiled
+// execution plans like every leader-election protocol: Output maps
+// opinion 1 to core.Leader and opinion 0 to core.Follower (so Leaders()
+// counts the nodes currently outputting 1 — a Result's Leader field is
+// usually −1, majority being a many-winners problem). Its four states
+// also make it sim.Tabular: the transition table, generated from Step
+// itself, depends on the input's majority sign (the stability functional
+// counts the losing side's nodes), so it is compiled per input set.
 package majority
 
 import (
 	"fmt"
 
+	"popgraph/internal/core"
 	"popgraph/internal/graph"
+	"popgraph/internal/sim"
 	"popgraph/internal/xrand"
 )
 
 // state is one of the four node states.
-type state uint8
+type state = uint8
 
 const (
 	weak0 state = iota
@@ -40,15 +51,16 @@ const (
 	strong1
 )
 
-// Protocol is the 4-state exact majority protocol. It does not implement
-// sim.Protocol (outputs are opinions, not leader/follower); it has the
-// same Reset/Step/Stable shape and its own Opinion output.
+// Protocol is the 4-state exact majority protocol.
 type Protocol struct {
-	inputs []bool // initial opinions; nil selected at Reset via Inputs
-	states []state
+	inputs []bool // initial opinions, fixed at New
+	states []uint8
 
 	counts [4]int
+	table  *core.TransitionTable
 }
+
+var _ sim.Tabular = (*Protocol)(nil)
 
 // New returns the protocol with the given initial opinions (length must
 // equal the graph size at Reset; must not be a tie).
@@ -62,22 +74,27 @@ func (p *Protocol) Name() string { return "four-state-majority" }
 // StateCount returns 4.
 func (p *Protocol) StateCount(int) float64 { return 4 }
 
-// Reset initializes every node to a strong copy of its input opinion.
-func (p *Protocol) Reset(g graph.Graph, _ *xrand.Rand) {
-	n := g.N()
-	if len(p.inputs) != n {
-		panic(fmt.Sprintf("majority: %d inputs for %d nodes", len(p.inputs), n))
-	}
+// margin returns #ones − #zeros of the input opinions.
+func (p *Protocol) margin() int {
 	ones := 0
 	for _, b := range p.inputs {
 		if b {
 			ones++
 		}
 	}
-	if 2*ones == n {
+	return 2*ones - len(p.inputs)
+}
+
+// Reset initializes every node to a strong copy of its input opinion.
+func (p *Protocol) Reset(g graph.Graph, _ *xrand.Rand) {
+	n := g.N()
+	if len(p.inputs) != n {
+		panic(fmt.Sprintf("majority: %d inputs for %d nodes", len(p.inputs), n))
+	}
+	if p.margin() == 0 {
 		panic("majority: tie inputs never stabilize; supply a strict majority")
 	}
-	p.states = make([]state, n)
+	p.states = make([]uint8, n)
 	p.counts = [4]int{}
 	for v, b := range p.inputs {
 		if b {
@@ -135,8 +152,21 @@ func (p *Protocol) Opinion(v int) bool {
 	return s == weak1 || s == strong1
 }
 
+// Output implements sim.Protocol: opinion 1 outputs Leader, opinion 0
+// Follower (the Role encoding of the binary opinion).
+func (p *Protocol) Output(v int) core.Role {
+	if p.Opinion(v) {
+		return core.Leader
+	}
+	return core.Follower
+}
+
 // Ones returns the number of nodes currently outputting opinion 1.
 func (p *Protocol) Ones() int { return p.counts[weak1] + p.counts[strong1] }
+
+// Leaders implements sim.Protocol: the number of nodes outputting
+// opinion 1 (see Output).
+func (p *Protocol) Leaders() int { return p.Ones() }
 
 // StrongDifference returns #strong1 − #strong0, the conserved quantity
 // equal to the input difference; tests assert its invariance.
@@ -150,16 +180,65 @@ func (p *Protocol) Stable() bool {
 	return (zeros == 0 && p.counts[strong1] > 0) || (ones == 0 && p.counts[strong0] > 0)
 }
 
-// Run executes the stochastic scheduler until stabilization or maxSteps;
-// it returns the step count and whether it stabilized.
-func (p *Protocol) Run(g graph.Graph, r *xrand.Rand, maxSteps int64) (int64, bool) {
-	p.Reset(g, r)
-	for t := int64(1); t <= maxSteps; t++ {
-		u, v := g.SampleEdge(r)
-		p.Step(u, v)
-		if p.Stable() {
-			return t, true
-		}
+// Table implements sim.Tabular. The stability functional counts the
+// losing side's nodes (weak and strong) with target 0: the conserved
+// strong difference keeps the winning side's strong count positive, so
+// "no loser left" is exactly Stable() on every reachable configuration.
+// The sign, and hence the table, is fixed by the inputs; tie inputs
+// return nil (Reset rejects them anyway). Generated by probing Step
+// over every state pair.
+func (p *Protocol) Table() *core.TransitionTable {
+	d := p.margin()
+	if d == 0 {
+		return nil
 	}
-	return maxSteps, false
+	if p.table == nil {
+		losing := func(s uint8) bool {
+			if d > 0 {
+				return s == weak0 || s == strong0
+			}
+			return s == weak1 || s == strong1
+		}
+		tab, err := core.NewTransitionTable(4,
+			func(a, b uint8) (uint8, uint8) {
+				probe := &Protocol{states: []uint8{a, b}}
+				probe.Step(0, 1)
+				return probe.states[0], probe.states[1]
+			},
+			func(s uint8) core.Role {
+				if s == weak1 || s == strong1 {
+					return core.Leader
+				}
+				return core.Follower
+			},
+			func(s uint8) int {
+				if losing(s) {
+					return 1
+				}
+				return 0
+			},
+			0)
+		if err != nil {
+			panic("majority: " + err.Error())
+		}
+		p.table = tab
+	}
+	return p.table
+}
+
+// TableStates implements sim.Tabular: the live state bytes, aliased.
+func (p *Protocol) TableStates() []uint8 { return p.states }
+
+// ReloadCounters implements sim.Tabular: rebuild the four state counts
+// by full scan after a fused kernel mutated the state array directly;
+// the kernel's leader count cross-checks the counter maintenance.
+func (p *Protocol) ReloadCounters(leaders, _ int) {
+	var c [4]int
+	for _, s := range p.states {
+		c[s]++
+	}
+	if ones := c[weak1] + c[strong1]; ones != leaders {
+		panic(fmt.Sprintf("majority: table kernel ones count %d, state scan %d", leaders, ones))
+	}
+	p.counts = c
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"popgraph/internal/graph"
+	"popgraph/internal/sim"
 	"popgraph/internal/xrand"
 )
 
@@ -33,10 +34,11 @@ func TestComputesMajorityOnFamilies(t *testing.T) {
 				}
 				p := New(inputsWithOnes(n, ones))
 				r := xrand.New(uint64(100*n + ones))
-				steps, ok := p.Run(g, r, 1<<32)
-				if !ok {
+				res := sim.Run(g, p, r, sim.Options{MaxSteps: 1 << 32})
+				if !res.Stabilized {
 					t.Fatalf("ones=%d: no stabilization", ones)
 				}
+				steps := res.Steps
 				want := 2*ones > n
 				for v := 0; v < n; v++ {
 					if p.Opinion(v) != want {
@@ -76,7 +78,7 @@ func TestStabilityIsPermanent(t *testing.T) {
 	g := graph.NewClique(10)
 	p := New(inputsWithOnes(10, 7))
 	r := xrand.New(11)
-	if _, ok := p.Run(g, r, 1<<30); !ok {
+	if !sim.Run(g, p, r, sim.Options{MaxSteps: 1 << 30}).Stabilized {
 		t.Fatal("did not stabilize")
 	}
 	for i := 0; i < 30000; i++ {
@@ -142,5 +144,84 @@ func TestStateCountAndName(t *testing.T) {
 	p := New(inputsWithOnes(4, 3))
 	if p.StateCount(100) != 4 || p.Name() == "" {
 		t.Fatal("metadata")
+	}
+}
+
+// TestCountersMatchScans cross-checks the O(1) counters — Leaders()
+// (= Ones), StrongDifference and the Stable predicate — against full
+// state scans after every interaction of a scripted run, the same
+// discipline beauquier's counters get.
+func TestCountersMatchScans(t *testing.T) {
+	g := graph.Torus2D(4, 4)
+	p := New(inputsWithOnes(16, 10))
+	p.Reset(g, xrand.New(3))
+	r := xrand.New(4)
+	for i := 0; i < 20000; i++ {
+		u, v := g.SampleEdge(r)
+		p.Step(u, v)
+		var scan [4]int
+		for w := 0; w < 16; w++ {
+			scan[p.states[w]]++
+		}
+		if ones := scan[weak1] + scan[strong1]; ones != p.Ones() || ones != p.Leaders() {
+			t.Fatalf("step %d: Ones()/Leaders() %d/%d != scan %d", i, p.Ones(), p.Leaders(), ones)
+		}
+		if scanLeaders := sim.CountLeaders(g, p); scanLeaders != p.Leaders() {
+			t.Fatalf("step %d: Leaders() %d != output scan %d", i, p.Leaders(), scanLeaders)
+		}
+		if d := scan[strong1] - scan[strong0]; d != p.StrongDifference() {
+			t.Fatalf("step %d: StrongDifference %d != scan %d", i, p.StrongDifference(), d)
+		}
+		zeros := scan[weak0] + scan[strong0]
+		ones := scan[weak1] + scan[strong1]
+		wantStable := (zeros == 0 && scan[strong1] > 0) || (ones == 0 && scan[strong0] > 0)
+		if p.Stable() != wantStable {
+			t.Fatalf("step %d: Stable() %v, scan says %v", i, p.Stable(), wantStable)
+		}
+		if p.Stable() {
+			return
+		}
+	}
+	t.Fatal("run did not stabilize within 20000 steps")
+}
+
+// TestTableMatchesStep: the per-sign generated tables agree with the
+// hand-written transition on every state pair, and their stability
+// functional (no losing-side nodes left) matches Stable on reachable
+// configurations of either sign.
+func TestTableMatchesStep(t *testing.T) {
+	for _, ones := range []int{3, 1} { // majority-1 and majority-0 inputs
+		p := New(inputsWithOnes(4, ones))
+		tab := p.Table()
+		if tab == nil || tab.K() != 4 {
+			t.Fatalf("ones=%d: table %+v, want a 4-state machine", ones, tab)
+		}
+		for a := uint8(0); a < 4; a++ {
+			for b := uint8(0); b < 4; b++ {
+				wa, wb := transition(a, b)
+				na, nb := tab.Next(a, b)
+				if na != wa || nb != wb {
+					t.Fatalf("ones=%d (%d,%d): table (%d,%d), transition (%d,%d)", ones, a, b, na, nb, wa, wb)
+				}
+			}
+		}
+		winnerStrong, loserStrong := strong1, strong0
+		if ones == 1 {
+			winnerStrong, loserStrong = strong0, strong1
+		}
+		for _, c := range []struct {
+			states []uint8
+			stable bool
+		}{
+			{[]uint8{winnerStrong, winnerStrong, winnerStrong}, true},
+			{[]uint8{winnerStrong, loserStrong, winnerStrong}, false},
+		} {
+			if _, gap := tab.Counters(c.states); (gap == 0) != c.stable {
+				t.Fatalf("ones=%d %v: gap %d, want stable=%v", ones, c.states, gap, c.stable)
+			}
+		}
+	}
+	if New(inputsWithOnes(4, 2)).Table() != nil {
+		t.Fatal("tie inputs must not compile a table")
 	}
 }

@@ -82,3 +82,66 @@ func TestStateCount(t *testing.T) {
 		t.Fatal("state count must be 3")
 	}
 }
+
+// TestCountersMatchScans cross-checks the O(1) Leaders counter and the
+// Stable predicate against full output scans after every interaction of
+// a scripted run — the same discipline beauquier's counters get.
+func TestCountersMatchScans(t *testing.T) {
+	g := graph.Star(12)
+	p := New()
+	p.Reset(g, xrand.New(9))
+	r := xrand.New(10)
+	for i := 0; i < 500; i++ {
+		u, v := g.SampleEdge(r)
+		p.Step(u, v)
+		if scan := sim.CountLeaders(g, p); scan != p.Leaders() {
+			t.Fatalf("step %d: Leaders() %d != scan %d", i, p.Leaders(), scan)
+		}
+		if want := p.Leaders() == 1; p.Stable() != want {
+			t.Fatalf("step %d: Stable() %v with %d leaders", i, p.Stable(), p.Leaders())
+		}
+	}
+	if !p.Stable() {
+		t.Fatal("500 star interactions must stabilize")
+	}
+}
+
+// TestTableMatchesStep: the generated transition table agrees with the
+// hand-written Step on every state pair, roles and counters included.
+func TestTableMatchesStep(t *testing.T) {
+	p := New()
+	tab := p.Table()
+	if tab == nil || tab.K() != 3 {
+		t.Fatalf("table %+v, want a 3-state machine", tab)
+	}
+	for a := uint8(0); a < 3; a++ {
+		wantRole := core.Follower
+		if a == leader {
+			wantRole = core.Leader
+		}
+		if tab.Role(a) != wantRole {
+			t.Fatalf("state %d role %v, want %v", a, tab.Role(a), wantRole)
+		}
+		for b := uint8(0); b < 3; b++ {
+			probe := &Protocol{states: []uint8{a, b}}
+			probe.Step(0, 1)
+			na, nb := tab.Next(a, b)
+			if na != probe.states[0] || nb != probe.states[1] {
+				t.Fatalf("(%d,%d): table (%d,%d), Step (%d,%d)", a, b, na, nb, probe.states[0], probe.states[1])
+			}
+		}
+	}
+	// The stability functional is leaders == 1 exactly.
+	for _, c := range []struct {
+		states []uint8
+		stable bool
+	}{
+		{[]uint8{undecided, undecided, undecided}, false},
+		{[]uint8{leader, follower, undecided}, true},
+		{[]uint8{leader, leader, follower}, false},
+	} {
+		if _, gap := tab.Counters(c.states); (gap == 0) != c.stable {
+			t.Fatalf("%v: gap %d, want stable=%v", c.states, gap, c.stable)
+		}
+	}
+}

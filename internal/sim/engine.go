@@ -14,9 +14,11 @@
 // rewinds the generator past only the draws it consumed (undoing block
 // prefetch). Every seed therefore reproduces byte-identical Results,
 // observer callbacks and post-run generator state regardless of which
-// kernel ran — for every scheduler × drop × observer combination, not
-// just uninstrumented uniform runs; engine_test.go asserts all three
-// against an independent step-at-a-time reference loop.
+// kernel ran — for every protocol × scheduler × drop × observer
+// combination, not just uninstrumented uniform runs (the fused
+// transition-table variants in engine_table.go consume no extra
+// randomness); engine_test.go asserts all three against an independent
+// step-at-a-time reference loop.
 package sim
 
 import (
@@ -34,7 +36,8 @@ import (
 const rngBlockSize = 512
 
 // kernel is a chunk runner: the compiled hot loop for one scheduler ×
-// graph shape, owning all mutable sampling state of one run.
+// graph shape (optionally fused with a protocol's transition table),
+// owning all mutable sampling state of one run.
 type kernel interface {
 	// run executes steps t0+1 .. t0+k, stopping early when the protocol
 	// stabilizes; it returns the number of steps executed and whether the
@@ -43,6 +46,12 @@ type kernel interface {
 	// finish rewinds any prefetched randomness so the generator is left
 	// exactly where drawing one value at a time would have left it.
 	finish(r *xrand.Rand)
+	// sync reconciles the protocol's internal counters with any state
+	// the kernel mutated behind Protocol.Step's back; the plan calls it
+	// before every observer callback and at the end of the run. A no-op
+	// for Step-dispatch kernels, whose protocols maintain their own
+	// counters.
+	sync()
 }
 
 // rngBlock is the shared block-prefetch state: a buffer of raw Uint64
@@ -148,6 +157,7 @@ func (kn *denseKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bool) 
 }
 
 func (kn *denseKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
+func (kn *denseKernel) sync()                {}
 
 // cliqueKernel is the uniform-scheduler loop for the implicit complete
 // graph, mirroring graph.Clique.SampleEdge's two-draw construction of a
@@ -200,6 +210,7 @@ func (kn *cliqueKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bool)
 }
 
 func (kn *cliqueKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
+func (kn *cliqueKernel) sync()                {}
 
 // weightedKernel is the monomorphized alias-table loop for the Weighted
 // scheduler: per step one Lemire reduction over the m columns (with the
@@ -259,6 +270,7 @@ func (kn *weightedKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, boo
 }
 
 func (kn *weightedKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
+func (kn *weightedKernel) sync()                {}
 
 // nodeClockKernel is the specialized loop for the NodeClock scheduler:
 // the degree-proportional initiator comes from the alias table exactly
@@ -325,6 +337,7 @@ func (kn *nodeClockKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bo
 }
 
 func (kn *nodeClockKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
+func (kn *nodeClockKernel) sync()                {}
 
 // uintn is xrand.Uintn fed from the block buffer: same guarded Lemire
 // rejection, same accepted draws, for bounds that vary per step.
@@ -364,3 +377,4 @@ func (kn *sourceKernel) run(p Protocol, r *xrand.Rand, t0, k int64) (int64, bool
 }
 
 func (kn *sourceKernel) finish(*xrand.Rand) {}
+func (kn *sourceKernel) sync()              {}

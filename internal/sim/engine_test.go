@@ -8,6 +8,8 @@ import (
 	"popgraph/internal/protocols/beauquier"
 	"popgraph/internal/protocols/fastelect"
 	"popgraph/internal/protocols/idelect"
+	"popgraph/internal/protocols/majority"
+	"popgraph/internal/protocols/star"
 	. "popgraph/internal/sim"
 	"popgraph/internal/xrand"
 )
@@ -180,12 +182,15 @@ func referenceRun(g graph.Graph, p Protocol, r *xrand.Rand, opts Options) Result
 }
 
 // TestPlanEquivalenceMatrix is the determinism contract of the compiled
-// execution plans: for every scheduler × drop × observer combination on
-// every kernel-eligible graph shape, the specialized kernel, the forced
-// reference kernel (Options.Reference) and the independent step-at-a-
-// time loop above must produce byte-identical Results, identical
-// observer callback sequences (times and visible state), and leave the
-// generator at the byte-identical stream position.
+// execution plans, now with a protocol axis: for every protocol ×
+// scheduler × drop × observer combination on every kernel-eligible
+// graph shape, the specialized kernel (fused with the protocol's
+// transition table when it is Tabular), the interface-dispatch kernel
+// (Options.NoTable), the forced reference kernel (Options.Reference)
+// and the independent step-at-a-time loop above must produce
+// byte-identical Results, identical observer callback sequences (times
+// and visible state), and leave the generator at the byte-identical
+// stream position.
 func TestPlanEquivalenceMatrix(t *testing.T) {
 	schedCases := []struct {
 		tag   string
@@ -218,70 +223,129 @@ func TestPlanEquivalenceMatrix(t *testing.T) {
 			return s
 		}},
 	}
+	// The protocol axis. six-state is the primary (Tabular) protocol and
+	// sweeps the full cap × observer × seed grid; majority (Tabular, a
+	// different table and counter functional per input sign) and the
+	// star protocol (Tabular, star graphs only) ride a trimmed grid —
+	// full scheduler × drop coverage, fewer caps/observer cadences — to
+	// keep the matrix fast. Options.NoTable doubles as the interface-
+	// dispatch control for every Tabular protocol.
+	protoCases := []struct {
+		tag     string
+		make    func(g graph.Graph) func() Protocol
+		on      func(g graph.Graph) bool
+		caps    []int64
+		everies []int64
+		seeds   uint64
+	}{
+		{
+			tag:  "six-state",
+			make: func(graph.Graph) func() Protocol { return func() Protocol { return beauquier.New() } },
+			on:   func(graph.Graph) bool { return true },
+			// Caps around the prefetch block size exercise partial-block
+			// rewinds and multi-block runs; 0 (the default cap) lets runs
+			// end by stabilizing, checking the early-exit paths.
+			caps:    []int64{511, 4000, 0},
+			everies: []int64{-1, 1, 7, 512}, // -1 = no observer
+			seeds:   2,
+		},
+		{
+			tag: "majority",
+			make: func(g graph.Graph) func() Protocol {
+				inputs := make([]bool, g.N())
+				for i := 0; i <= g.N()/2; i++ {
+					inputs[i] = true // strict majority of ones for any n
+				}
+				return func() Protocol { return majority.New(inputs) }
+			},
+			on:      func(graph.Graph) bool { return true },
+			caps:    []int64{511, 0},
+			everies: []int64{-1, 7},
+			seeds:   1,
+		},
+		{
+			tag:  "star",
+			make: func(graph.Graph) func() Protocol { return func() Protocol { return star.New() } },
+			on: func(g graph.Graph) bool {
+				return g.N() >= 3 && graph.MaxDegree(g) == g.N()-1 && g.M() == g.N()-1
+			},
+			caps:    []int64{511, 0},
+			everies: []int64{-1, 7},
+			seeds:   1,
+		},
+	}
 	graphs := []graph.Graph{
 		graph.Torus2D(4, 5),  // CSR: dense-uniform / weighted / node-clock kernels
 		graph.NewClique(23),  // implicit: clique-uniform kernel, odd n rejection path
 		graph.Lollipop(6, 5), // skewed degrees for the node-clock neighbor draw
+		graph.Star(10),       // the star protocol's home turf, CSR shape
 	}
-	// Caps around the prefetch block size exercise partial-block rewinds
-	// and multi-block runs; 0 (the default cap) lets runs end by
-	// stabilizing, checking the early-exit paths.
-	caps := []int64{511, 4000, 0}
 	drops := []float64{0, 0.3}
-	everies := []int64{-1, 1, 7, 512} // -1 = no observer
 	for _, g := range graphs {
-		for _, sc := range schedCases {
-			sched := sc.build(g)
-			for _, drop := range drops {
-				for _, maxSteps := range caps {
-					for _, every := range everies {
-						for seed := uint64(1); seed <= 2; seed++ {
-							name := fmt.Sprintf("%s/%s/drop%v/cap%d/every%d/seed%d",
-								g.Name(), sc.tag, drop, maxSteps, every, seed)
-							type variant struct {
-								res Result
-								r   *xrand.Rand
-								obs *recordingObserver
-							}
-							runVariant := func(ref, forceGeneric bool) variant {
-								r := xrand.New(seed)
-								p := beauquier.New()
-								opts := Options{
-									MaxSteps:  maxSteps,
-									Scheduler: sched,
-									DropRate:  drop,
-									Reference: forceGeneric,
+		for _, pc := range protoCases {
+			if !pc.on(g) {
+				continue
+			}
+			factory := pc.make(g)
+			for _, sc := range schedCases {
+				sched := sc.build(g)
+				for _, drop := range drops {
+					for _, maxSteps := range pc.caps {
+						for _, every := range pc.everies {
+							for seed := uint64(1); seed <= pc.seeds; seed++ {
+								name := fmt.Sprintf("%s/%s/%s/drop%v/cap%d/every%d/seed%d",
+									g.Name(), pc.tag, sc.tag, drop, maxSteps, every, seed)
+								type variant struct {
+									res Result
+									r   *xrand.Rand
+									obs *recordingObserver
 								}
-								var obs *recordingObserver
-								if every > 0 {
-									obs = &recordingObserver{p: p}
-									opts.Observer = obs
-									opts.ObserveEvery = every
+								runVariant := func(ref, forceGeneric, noTable bool) variant {
+									r := xrand.New(seed)
+									p := factory()
+									opts := Options{
+										MaxSteps:  maxSteps,
+										Scheduler: sched,
+										DropRate:  drop,
+										Reference: forceGeneric,
+										NoTable:   noTable,
+									}
+									var obs *recordingObserver
+									if every > 0 {
+										obs = &recordingObserver{p: p}
+										opts.Observer = obs
+										opts.ObserveEvery = every
+									}
+									var res Result
+									if ref {
+										res = referenceRun(g, p, r, opts)
+									} else {
+										res = Run(g, p, r, opts)
+									}
+									return variant{res: res, r: r, obs: obs}
 								}
-								var res Result
-								if ref {
-									res = referenceRun(g, p, r, opts)
-								} else {
-									res = Run(g, p, r, opts)
+								want := runVariant(true, false, false)
+								var wantDraws [16]uint64
+								for i := range wantDraws {
+									wantDraws[i] = want.r.Uint64()
 								}
-								return variant{res: res, r: r, obs: obs}
-							}
-							want := runVariant(true, false)
-							var wantDraws [16]uint64
-							for i := range wantDraws {
-								wantDraws[i] = want.r.Uint64()
-							}
-							for _, v := range []variant{runVariant(false, false), runVariant(false, true)} {
-								if v.res != want.res {
-									t.Fatalf("%s: results diverged: plan %+v, reference %+v", name, v.res, want.res)
+								variants := []variant{
+									runVariant(false, false, false), // fused table kernel (when Tabular)
+									runVariant(false, false, true),  // same scheduler kernel, Step dispatch
+									runVariant(false, true, false),  // generic reference kernel
 								}
-								if every > 0 && !v.obs.equal(want.obs) {
-									t.Fatalf("%s: observer sequences diverged:\nplan %v %v\nref  %v %v",
-										name, v.obs.ts, v.obs.leaders, want.obs.ts, want.obs.leaders)
-								}
-								for i, b := range wantDraws {
-									if a := v.r.Uint64(); a != b {
-										t.Fatalf("%s: post-run RNG stream diverged at draw %d", name, i)
+								for _, v := range variants {
+									if v.res != want.res {
+										t.Fatalf("%s: results diverged: plan %+v, reference %+v", name, v.res, want.res)
+									}
+									if every > 0 && !v.obs.equal(want.obs) {
+										t.Fatalf("%s: observer sequences diverged:\nplan %v %v\nref  %v %v",
+											name, v.obs.ts, v.obs.leaders, want.obs.ts, want.obs.leaders)
+									}
+									for i, b := range wantDraws {
+										if a := v.r.Uint64(); a != b {
+											t.Fatalf("%s: post-run RNG stream diverged at draw %d", name, i)
+										}
 									}
 								}
 							}

@@ -58,16 +58,47 @@ type ExecPlan struct {
 	observer  Observer
 	every     int64
 	mode      planMode
+	noTable   bool        // Options.NoTable: force Step dispatch for Tabular protocols
 	sched     Scheduler   // non-nil when a non-uniform scheduler drives the run
 	sampler   EdgeSampler // non-nil when Options.Sampler overrode the pair stream
 	weighted  *Weighted
 	nodeClock *NodeClock
 }
 
-// Engine names the kernel the plan compiled to — "dense-uniform",
-// "clique-uniform", "weighted", "node-clock" or "generic" — for
-// benchmark reports and logs.
+// Engine names the scheduler kernel the plan compiled to —
+// "dense-uniform", "clique-uniform", "weighted", "node-clock" or
+// "generic" — for benchmark reports and logs. The protocol axis is
+// orthogonal: ProtocolEngine reports whether a given protocol fuses
+// into the kernel's table variant.
 func (pl *ExecPlan) Engine() string { return planModeNames[pl.mode] }
+
+// ProtocolEngine reports the protocol dispatch a run of p on this plan
+// selects: "table" when p is Tabular, provides a table, and the plan
+// compiled to a specialized kernel (fused transition-table variant);
+// "step" otherwise (Protocol.Step interface dispatch). Benchmark
+// reports record it per cell.
+func (pl *ExecPlan) ProtocolEngine(p Protocol) string {
+	if pl.fusable(p) != nil {
+		return "table"
+	}
+	return "step"
+}
+
+// fusable returns the Tabular view of p when this plan would fuse it
+// into a table kernel, nil otherwise. Fusion needs a specialized
+// scheduler kernel (the generic Source loop keeps interface dispatch),
+// no NoTable override, and a protocol that actually produces a table
+// for its current configuration.
+func (pl *ExecPlan) fusable(p Protocol) Tabular {
+	if pl.noTable || pl.mode == modeGeneric {
+		return nil
+	}
+	tp, ok := p.(Tabular)
+	if !ok || tp.Table() == nil {
+		return nil
+	}
+	return tp
+}
 
 // MaxSteps returns the resolved step cap (Options.MaxSteps, or
 // DefaultMaxSteps of the graph when that was zero).
@@ -101,6 +132,7 @@ func Compile(g graph.Graph, opts Options) (*ExecPlan, error) {
 		drop:     opts.DropRate,
 		observer: opts.Observer,
 		every:    every,
+		noTable:  opts.NoTable,
 	}
 	// The uniform policy (nil or Uniform{}, graph-bound or not) is the
 	// graph's own SampleEdge distribution.
@@ -155,8 +187,23 @@ func Compile(g graph.Graph, opts Options) (*ExecPlan, error) {
 
 // newKernel instantiates the per-run chunk runner; r is available for
 // scheduler Begin draws, mirroring the pre-plan Source construction
-// point (after Protocol.Reset).
-func (pl *ExecPlan) newKernel(r *xrand.Rand) kernel {
+// point (after Protocol.Reset). p has been Reset, so a Tabular
+// protocol's table and live state array are available; fused kernels
+// are selected here (per run, not per plan) because the protocol axis
+// is a Run argument, not a Compile one.
+func (pl *ExecPlan) newKernel(p Protocol, r *xrand.Rand) kernel {
+	if tp := pl.fusable(p); tp != nil && len(tp.TableStates()) == pl.g.N() {
+		switch pl.mode {
+		case modeDenseUniform:
+			return newDenseTableKernel(pl.g.(*graph.Dense), pl.drop, tp)
+		case modeCliqueUniform:
+			return newCliqueTableKernel(pl.g.(graph.Clique), pl.drop, tp)
+		case modeWeighted:
+			return newWeightedTableKernel(pl.weighted, pl.drop, tp)
+		case modeNodeClock:
+			return newNodeClockTableKernel(pl.nodeClock, pl.drop, tp)
+		}
+	}
 	switch pl.mode {
 	case modeDenseUniform:
 		return newDenseKernel(pl.g.(*graph.Dense), pl.drop)
@@ -186,7 +233,7 @@ func (pl *ExecPlan) newKernel(r *xrand.Rand) kernel {
 // boundary — exactly the cadence of the step-at-a-time reference loop.
 func (pl *ExecPlan) Run(p Protocol, r *xrand.Rand) Result {
 	p.Reset(pl.g, r)
-	kern := pl.newKernel(r)
+	kern := pl.newKernel(p, r)
 	var t int64
 	for t < pl.maxSteps {
 		k := pl.maxSteps - t
@@ -201,13 +248,18 @@ func (pl *ExecPlan) Run(p Protocol, r *xrand.Rand) Result {
 		done, stabilized := kern.run(p, r, t, k)
 		t += done
 		if pl.observer != nil && t%pl.every == 0 {
+			// Fused kernels mutate protocol state behind Step's back;
+			// reconcile counters so the observer sees live Leaders/Stable.
+			kern.sync()
 			pl.observer.Observe(t)
 		}
 		if stabilized {
 			kern.finish(r)
+			kern.sync()
 			return Result{Steps: t, Stabilized: true, Leader: FindLeader(pl.g, p)}
 		}
 	}
 	kern.finish(r)
+	kern.sync()
 	return Result{Steps: pl.maxSteps, Stabilized: false, Leader: -1}
 }

@@ -7,6 +7,8 @@ import (
 
 	"popgraph/internal/graph"
 	"popgraph/internal/protocols/beauquier"
+	"popgraph/internal/protocols/idelect"
+	"popgraph/internal/protocols/majority"
 	. "popgraph/internal/sim"
 	"popgraph/internal/xrand"
 )
@@ -133,6 +135,54 @@ func TestCompileEngineSelection(t *testing.T) {
 			}
 			if pl.Engine() != c.want {
 				t.Fatalf("engine %q, want %q", pl.Engine(), c.want)
+			}
+		})
+	}
+}
+
+// TestProtocolEngineSelection: the protocol axis of kernel selection.
+// A Tabular protocol fuses into the table variant of every specialized
+// scheduler kernel; Options.NoTable, the generic kernel (churn,
+// samplers, Reference) and non-Tabular protocols keep Step dispatch.
+func TestProtocolEngineSelection(t *testing.T) {
+	torus := graph.Torus2D(3, 4)
+	churn, err := NewChurn(torus, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeClock, err := NewNodeClock(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	six := beauquier.New()
+	cases := []struct {
+		name string
+		g    graph.Graph
+		opts Options
+		p    Protocol
+		want string
+	}{
+		{"six-state-dense", torus, Options{}, six, "table"},
+		{"six-state-clique", graph.NewClique(8), Options{}, six, "table"},
+		{"six-state-node-clock", torus, Options{Scheduler: nodeClock}, six, "table"},
+		{"no-table-forces-step", torus, Options{NoTable: true}, six, "step"},
+		{"reference-forces-step", torus, Options{Reference: true}, six, "step"},
+		{"sampler-forces-step", torus, Options{Sampler: torus}, six, "step"},
+		{"churn-forces-step", torus, Options{Scheduler: churn}, six, "step"},
+		{"non-tabular-protocol", torus, Options{}, idelect.New(), "step"},
+		{"tie-majority-has-no-table", torus, Options{},
+			majority.New(append(make([]bool, 6), true, true, true, true, true, true)), "step"},
+		{"majority-dense", torus, Options{},
+			majority.New(append(make([]bool, 5), true, true, true, true, true, true, true)), "table"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pl, err := Compile(c.g, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := pl.ProtocolEngine(c.p); got != c.want {
+				t.Fatalf("protocol engine %q, want %q", got, c.want)
 			}
 		})
 	}

@@ -53,6 +53,45 @@ type Protocol interface {
 	Stable() bool
 }
 
+// Tabular is a Protocol whose whole transition function fits in a
+// compiled core.TransitionTable — the constant-state regime of the
+// space-efficiency line of work (the six-state baseline of Theorem 16,
+// the star protocol, four-state majority). Execution plans fuse Tabular
+// protocols into the specialized scheduler kernels: the interaction hot
+// loop becomes two byte loads, one table lookup, two byte stores and a
+// counter-delta add, with no Protocol interface calls (see engine.go).
+// Protocols whose state space grows with n (identifier, fast) simply
+// don't implement it and keep the Step-dispatch kernels.
+//
+// Implementations generate the table from their own hand-written Step
+// logic (typically by probing Step over all state pairs), so the
+// transition rules keep a single source of truth.
+type Tabular interface {
+	Protocol
+	// Table returns the compiled machine for the protocol's current
+	// configuration, or nil when it cannot be table-compiled (the run
+	// then uses interface dispatch). It must be callable both before
+	// Reset (plans report the engine choice up front) and after.
+	Table() *core.TransitionTable
+	// TableStates returns the live per-node state-index slice, aliasing
+	// the protocol's own storage; fused kernels mutate it in place, so
+	// Output and state accessors stay accurate mid-run. Valid after
+	// Reset; every entry is < Table().K().
+	TableStates() []uint8
+	// ReloadCounters restores the protocol's internal counters after a
+	// fused kernel mutated TableStates behind Step's back; the plan
+	// calls it before every observer callback and at the end of the
+	// run. leaders and gap are the kernel's incrementally maintained
+	// table counters (see core.TransitionTable); implementations
+	// reconcile any further counters from their state array, typically
+	// by an O(n) scan. That scan prices observation, not simulation: an
+	// attached observer with a fine-grained interval (ObserveEvery near
+	// 1) costs O(n) per callback on top of the observer's own work, so
+	// heavily instrumented large-n runs may prefer Options.NoTable,
+	// whose Step dispatch keeps counters in O(1) per step.
+	ReloadCounters(leaders, gap int)
+}
+
 // EdgeSampler abstracts the scheduler's pair sampling; graph.Graph
 // satisfies it. Tests use ScriptedSampler for deterministic interaction
 // sequences.
@@ -116,6 +155,13 @@ type Options struct {
 	// is speed; equivalence tests and cmd/bench use it to time the
 	// reference loop.
 	Reference bool
+	// NoTable forces interface dispatch (Protocol.Step / Protocol.Stable)
+	// even for Tabular protocols, keeping the scheduler-specialized
+	// kernel engaged. The protocol axis consumes no randomness, so
+	// results are byte-identical with or without fusion; equivalence
+	// tests and cmd/bench use it to isolate the table-vs-interface
+	// speedup.
+	NoTable bool
 }
 
 // DefaultMaxSteps returns the default step cap: generous enough for the

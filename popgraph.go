@@ -24,12 +24,17 @@
 //     degree-proportional node clocks, and bursty link churn (see
 //     Scheduler and ParseScheduler); uniform, weighted and node-clock
 //     runs all compile to type-specialized block-sampling fast loops,
-//     with drop rates and observers riding along (see Compile);
+//     with drop rates and observers riding along (see Compile), and
+//     constant-state (Tabular) protocols fuse their whole transition
+//     function into those loops as compiled transition tables — no
+//     interface calls on the interaction hot path, byte-identical
+//     results either way;
 //   - the three protocols of the paper: the constant-state six-state
 //     token protocol (Theorem 16), the identifier protocol with O(n⁴)
 //     states and O(B(G)+n log n) time (Theorem 21), and the fast
 //     space-efficient protocol with O(log² n) states and O(B(G)·log n)
-//     time (Theorem 24), plus the trivial star protocol;
+//     time (Theorem 24), plus the trivial star protocol and the exact
+//     four-state majority extension (NewMajority);
 //   - measurement machinery: broadcast and propagation times (Section 3),
 //     random-walk hitting and meeting times (Section 4), streak clocks
 //     (Section 5.1), isolating covers (Section 6) and influencer-set

@@ -202,7 +202,7 @@ func TestParsedSchedulersRun(t *testing.T) {
 func TestParseProtocol(t *testing.T) {
 	r := popgraph.NewRand(15)
 	g := popgraph.Clique(8)
-	for _, spec := range []string{"six-state", "identifier", "identifier-regular", "fast", "star"} {
+	for _, spec := range []string{"six-state", "identifier", "identifier-regular", "fast", "star", "majority:0.75"} {
 		if _, err := popgraph.ParseProtocol(spec, g, r); err != nil {
 			t.Errorf("%s: %v", spec, err)
 		}
@@ -210,6 +210,75 @@ func TestParseProtocol(t *testing.T) {
 	if _, err := popgraph.ParseProtocol("bogus", g, r); err == nil ||
 		!strings.Contains(err.Error(), "bogus") {
 		t.Errorf("bad protocol error: %v", err)
+	}
+}
+
+// TestProtocolSpecErrors: every malformed protocol spec comes back from
+// ParseProtocol/ProtocolFactory as an error naming the problem — never
+// a panic, and never a nil factory alongside a nil error.
+func TestProtocolSpecErrors(t *testing.T) {
+	r := popgraph.NewRand(16)
+	g := popgraph.Clique(8)
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"", "unknown protocol"},
+		{"six-state-typo", "unknown protocol"},
+		{"majority", "unknown protocol"},     // fraction is mandatory
+		{"majority:", "between 0 and 1"},     // empty fraction
+		{"majority:nope", "between 0 and 1"}, // non-numeric
+		{"majority:0", "between 0 and 1"},    // degenerate
+		{"majority:1", "between 0 and 1"},    // degenerate
+		{"majority:-0.5", "between 0 and 1"}, // negative
+		{"majority:0.5", "tie"},              // rounds to a tie on n=8
+		{"majority:0.001", "unanimous"},      // rounds to zero ones
+		{"majority:0.999", "unanimous"},      // rounds to all ones
+	}
+	for _, c := range cases {
+		t.Run(c.spec, func(t *testing.T) {
+			factory, err := popgraph.ProtocolFactory(c.spec, g, r)
+			if err == nil {
+				t.Fatalf("ProtocolFactory accepted %q", c.spec)
+			}
+			if factory != nil {
+				t.Fatalf("ProtocolFactory returned a factory alongside error %v", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+			if _, err := popgraph.ParseProtocol(c.spec, g, r); err == nil {
+				t.Fatal("ParseProtocol accepted what ProtocolFactory rejected")
+			}
+		})
+	}
+	// A graph-dependent tuning failure (the fast protocol on a degenerate
+	// graph) must come back as an error naming the spec, not a panic.
+	if _, err := popgraph.ProtocolFactory("majority:0.6", popgraph.Clique(2), r); err == nil {
+		t.Error("majority:0.6 on K_2 is a tie (1 of 2) and should be rejected")
+	}
+}
+
+// TestMajorityFactoryIsTrialSafe: a majority:FRAC factory hands each
+// trial a fresh instance over the same deterministic input assignment.
+func TestMajorityFactoryIsTrialSafe(t *testing.T) {
+	r := popgraph.NewRand(21)
+	g := popgraph.Cycle(10)
+	factory, err := popgraph.ProtocolFactory("majority:0.7", g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := factory(), factory()
+	if a == b {
+		t.Fatal("factory reused a protocol instance")
+	}
+	resA := popgraph.Run(g, a, popgraph.NewRand(3), popgraph.Options{})
+	resB := popgraph.Run(g, b, popgraph.NewRand(3), popgraph.Options{})
+	if resA != resB {
+		t.Fatalf("same-seed trials diverged: %+v vs %+v", resA, resB)
+	}
+	if !resA.Stabilized || a.Leaders() != g.N() {
+		t.Fatalf("majority 0.7 should converge to all ones: %+v, leaders %d", resA, a.Leaders())
 	}
 }
 
@@ -264,6 +333,44 @@ func TestRunMajorityFacade(t *testing.T) {
 	res = popgraph.RunMajority(g, inputs, r, 0)
 	if !res.Stabilized || res.Winner {
 		t.Fatalf("flipped majority result %+v, want winner=false", res)
+	}
+}
+
+// TestRunMajorityDefaultCap: RunMajority routes through the standard
+// execution plan, so maxSteps <= 0 means the same DefaultMaxSteps
+// default as every other entry point (regression: it used an ad-hoc
+// 1<<42 cap), an explicit cap is honored exactly, and the defaulted run
+// is byte-identical to running the majority Protocol through RunE with
+// a zero cap.
+func TestRunMajorityDefaultCap(t *testing.T) {
+	g := popgraph.Cycle(13)
+	inputs := make([]bool, 13)
+	for i := 0; i < 8; i++ {
+		inputs[i] = true
+	}
+	// An explicit tiny cap is respected: the run stops at exactly that
+	// many interactions, unstabilized.
+	res := popgraph.RunMajority(g, inputs, popgraph.NewRand(5), 3)
+	if res.Stabilized || res.Steps != 3 {
+		t.Fatalf("capped run %+v, want 3 unstabilized steps", res)
+	}
+	// maxSteps 0 is the library default, i.e. what RunE resolves for a
+	// zero MaxSteps — not some private constant.
+	def := popgraph.RunMajority(g, inputs, popgraph.NewRand(5), 0)
+	p := popgraph.NewMajority(inputs)
+	ref, err := popgraph.RunE(g, p, popgraph.NewRand(5), popgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.Stabilized || def.Steps != ref.Steps {
+		t.Fatalf("defaulted RunMajority %+v disagrees with RunE %+v", def, ref)
+	}
+	pl, err := popgraph.Compile(g, popgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Steps > pl.MaxSteps() {
+		t.Fatalf("defaulted run took %d steps, beyond the library default cap %d", def.Steps, pl.MaxSteps())
 	}
 }
 

@@ -2,6 +2,8 @@ package popgraph
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"popgraph/internal/core"
 	"popgraph/internal/protocols/beauquier"
@@ -9,10 +11,28 @@ import (
 	"popgraph/internal/protocols/idelect"
 	"popgraph/internal/protocols/majority"
 	"popgraph/internal/protocols/star"
+	"popgraph/internal/sim"
 )
 
 // Role is a node's output: Leader or Follower.
 type Role = core.Role
+
+// TransitionTable is a compiled finite-state protocol: the transition
+// function δ: S×S → S×S as a flat packed array plus per-state output
+// roles and the counter deltas behind O(1) Leaders/Stable maintenance.
+// See Tabular.
+type TransitionTable = core.TransitionTable
+
+// Tabular is a Protocol whose whole transition function fits in a
+// compiled TransitionTable. Compiled execution plans fuse Tabular
+// protocols into the type-specialized scheduler kernels, removing every
+// interface call from the interaction hot loop; results are
+// byte-identical to interface dispatch (the protocol axis consumes no
+// randomness). The constant-state protocols — six-state, star, majority
+// — are Tabular; identifier and fast, whose state spaces grow with n,
+// are not. ExecPlan.ProtocolEngine reports which dispatch a run would
+// use; Options.NoTable forces interface dispatch.
+type Tabular = sim.Tabular
 
 // Output roles.
 const (
@@ -88,24 +108,41 @@ type MajorityResult struct {
 	Winner bool
 }
 
+// NewMajority returns the exact four-state majority protocol over the
+// boolean inputs (one per node at Reset; not a tie) as a Protocol, so
+// it runs through the same compiled execution plans as the
+// leader-election protocols. Output encodes the binary opinion as a
+// Role — opinion 1 is Leader, opinion 0 Follower — so Leaders() counts
+// the nodes currently outputting 1; a Result's Leader field is usually
+// −1, majority being a many-winners problem. The protocol is Tabular.
+func NewMajority(inputs []bool) Protocol { return majority.New(inputs) }
+
 // RunMajority runs the extension module: exact four-state majority over
 // the boolean inputs (one per node, not a tie) on g, using the same
 // token random-walk techniques as the six-state leader election protocol.
-// Stabilization takes O(H(G)·n·log n) expected steps.
+// Stabilization takes O(H(G)·n·log n) expected steps. The run goes
+// through the standard compiled execution plan, so maxSteps <= 0 means
+// the same default cap as every other entry point
+// (sim.DefaultMaxSteps of the graph size).
 func RunMajority(g Graph, inputs []bool, r *Rand, maxSteps int64) MajorityResult {
-	if maxSteps <= 0 {
-		maxSteps = 1 << 42
-	}
 	p := majority.New(inputs)
-	steps, ok := p.Run(g, r, maxSteps)
-	return MajorityResult{Steps: steps, Stabilized: ok, Winner: ok && p.Opinion(0)}
+	res := Run(g, p, r, Options{MaxSteps: maxSteps})
+	return MajorityResult{
+		Steps:      res.Steps,
+		Stabilized: res.Stabilized,
+		Winner:     res.Stabilized && p.Opinion(0),
+	}
 }
 
 // ParseProtocol builds a protocol from a CLI spec:
 //
-//	six-state | identifier | identifier-regular | fast | star
+//	six-state | identifier | identifier-regular | fast | star | majority:FRAC
 //
 // "fast" estimates B(G) for g using r and applies tuned parameters.
+// "majority:FRAC" (FRAC strictly between 0 and 1) assigns opinion 1 to
+// the first round(FRAC·n) nodes; fractions whose rounded count is a tie
+// or unanimous (no minority left to out-vote — a degenerate cell that
+// stabilizes immediately) are rejected.
 func ParseProtocol(spec string, g Graph, r *Rand) (Protocol, error) {
 	factory, err := ProtocolFactory(spec, g, r)
 	if err != nil {
@@ -141,15 +178,45 @@ func ProtocolFactory(spec string, g Graph, r *Rand) (factory func() Protocol, er
 	case "star":
 		return func() Protocol { return NewStarProtocol() }, nil
 	default:
+		if frac, ok := strings.CutPrefix(spec, "majority:"); ok {
+			return majorityFactory(spec, frac, g.N())
+		}
 		return nil, errBadProtocol(spec)
 	}
+}
+
+// majorityFactory resolves a "majority:FRAC" spec: the first
+// round(FRAC·n) nodes get opinion 1, deterministically, so a sweep
+// cell's input is fixed across trials. Fractions outside (0, 1) are
+// spec errors, and so are fractions whose rounded count is a tie
+// (never stabilizes; Reset would panic) or unanimous (nothing to
+// compute — the run would stabilize on its first interaction).
+func majorityFactory(spec, frac string, n int) (func() Protocol, error) {
+	f, err := strconv.ParseFloat(frac, 64)
+	if err != nil || !(f > 0 && f < 1) {
+		return nil, fmt.Errorf("popgraph: bad protocol spec %q: fraction must be strictly between 0 and 1", spec)
+	}
+	ones := int(f*float64(n) + 0.5)
+	if 2*ones == n {
+		return nil, fmt.Errorf("popgraph: bad protocol spec %q: rounds to a tie (%d of %d opinions) which never stabilizes",
+			spec, ones, n)
+	}
+	if ones <= 0 || ones >= n {
+		return nil, fmt.Errorf("popgraph: bad protocol spec %q: rounds to a unanimous input (%d of %d opinions), a degenerate cell with no minority to out-vote",
+			spec, ones, n)
+	}
+	inputs := make([]bool, n)
+	for i := 0; i < ones; i++ {
+		inputs[i] = true
+	}
+	return func() Protocol { return NewMajority(inputs) }, nil
 }
 
 type badProtocolError string
 
 func (e badProtocolError) Error() string {
 	return "popgraph: unknown protocol " + string(e) +
-		" (want six-state | identifier | identifier-regular | fast | star)"
+		" (want six-state | identifier | identifier-regular | fast | star | majority:FRAC)"
 }
 
 func errBadProtocol(spec string) error { return badProtocolError(spec) }
