@@ -34,6 +34,7 @@ import (
 
 	"popgraph/internal/bench"
 	"popgraph/internal/table"
+	"popgraph/internal/telemetry"
 )
 
 func main() {
@@ -45,15 +46,18 @@ func main() {
 		compare = flag.String("compare", "", "baseline BENCH_sim.json to gate against (exit 1 on regression)")
 		tol     = flag.Float64("compare-tol", 0.30, "regression tolerance for -compare as a fraction (0.30 = 30%)")
 		summary = flag.String("summary", "", "write the -compare delta table as markdown to this file (CI step summaries)")
+		metrics = flag.String("metrics", "", "write the aggregated telemetry snapshot of all timed trials as JSON to this path")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address while the grid runs (e.g. :6060)")
 	)
 	flag.Parse()
-	if err := run(*out, *seed, *quick, *quiet, *compare, *tol, *summary); err != nil {
+	if err := run(*out, *seed, *quick, *quiet, *compare, *tol, *summary, *metrics, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, seed uint64, quick, quiet bool, compare string, tol float64, summary string) error {
+func run(out string, seed uint64, quick, quiet bool, compare string, tol float64,
+	summary, metrics, pprofAddr string) error {
 	// Flag-consistency errors must fire before the grid runs — the full
 	// grid takes minutes, and discovering a bad flag combination after
 	// it would waste the whole measurement.
@@ -86,9 +90,32 @@ func run(out string, seed uint64, quick, quiet bool, compare string, tol float64
 	if quiet {
 		logf = nil
 	}
-	rep, err := bench.Run(bench.DefaultGrid(quick), seed, logf)
+	// The flight recorder rides every timed trial: chunk-granularity
+	// accounting is cheap enough that metered numbers stay inside the
+	// -compare gate's noise band, and the dispatch mix in the summary
+	// proves which kernels the grid actually exercised.
+	meter := new(telemetry.Counters)
+	if pprofAddr != "" {
+		addr, stop, err := telemetry.StartDebugServer(pprofAddr, meter)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "bench: pprof at http://%s/debug/pprof/, metrics at http://%s/metrics\n", addr, addr)
+		}
+	}
+	rep, err := bench.RunMetered(bench.DefaultGrid(quick), seed, logf, meter)
 	if err != nil {
 		return err
+	}
+	if metrics != "" {
+		if err := telemetry.WriteSnapshotFile(metrics, meter); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "bench: wrote %s\n", metrics)
+		}
 	}
 
 	t := table.New(fmt.Sprintf("engine throughput (%s, %s/%s, seed %d)",
@@ -144,6 +171,14 @@ func run(out string, seed uint64, quick, quiet bool, compare string, tol float64
 				return err
 			}
 			if err := bench.WriteDeltaMarkdown(f, deltas, tol); err != nil {
+				f.Close()
+				return err
+			}
+			// Top-line flight-recorder counters ride along under the delta
+			// table, so the step summary answers "what did this run
+			// actually execute" next to "how fast".
+			fmt.Fprintln(f)
+			if err := bench.WriteTelemetryMarkdown(f, meter.Snapshot()); err != nil {
 				f.Close()
 				return err
 			}

@@ -12,6 +12,13 @@
 // random graphs) are skipped by default and printed as "D=?"; pass
 // -graph-stats (or -v) to compute them.
 //
+// Flight-recorder flags: -metrics PATH writes an aggregated telemetry
+// snapshot (steps, RNG refills, kernel dispatch mix, latency
+// histograms) as JSON after the runs; -pprof ADDR serves
+// net/http/pprof plus the live snapshot at /metrics while they run.
+// Telemetry never touches the random stream, so results are identical
+// with or without it.
+//
 // Graphs: clique:N cycle:N path:N star:N hypercube:D torus:RxC grid:RxC
 // lollipop:K:P barbell:K:P gnp:N:P regular:N:D ws:N:K:BETA ba:N:M.
 // Protocols: six-state | identifier | identifier-regular | fast | star | majority:FRAC.
@@ -28,6 +35,7 @@ import (
 	"popgraph/internal/runner"
 	"popgraph/internal/sim"
 	"popgraph/internal/stats"
+	"popgraph/internal/telemetry"
 )
 
 func main() {
@@ -42,16 +50,18 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel runs (0 = all cores)")
 		verbose   = flag.Bool("v", false, "print every run (implies -graph-stats)")
 		stats     = flag.Bool("graph-stats", false, "compute expensive graph statistics (diameter: O(n·m) BFS on large random graphs) at startup")
+		metrics   = flag.String("metrics", "", "write the aggregated telemetry snapshot as JSON to this path")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. :6060)")
 	)
 	flag.Parse()
-	if err := run(*graphSpec, *schedSpec, *protoSpec, *seed, *trialsN, *maxSteps, *dropRate, *workers, *verbose, *stats); err != nil {
+	if err := run(*graphSpec, *schedSpec, *protoSpec, *seed, *trialsN, *maxSteps, *dropRate, *workers, *verbose, *stats, *metrics, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "popsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(graphSpec, schedSpec, protoSpec string, seed uint64, trials int, maxSteps int64,
-	dropRate float64, workers int, verbose, graphStats bool) error {
+	dropRate float64, workers int, verbose, graphStats bool, metrics, pprofAddr string) error {
 	r := popgraph.NewRand(seed)
 	g, err := popgraph.ParseGraph(graphSpec, r)
 	if err != nil {
@@ -81,9 +91,31 @@ func run(graphSpec, schedSpec, protoSpec string, seed uint64, trials int, maxSte
 	if err != nil {
 		return err
 	}
+	// Flight recorder: only allocated when something consumes it — an
+	// unmetered run never pays even the chunk-granularity accounting.
+	var meter *telemetry.Counters
+	if metrics != "" || pprofAddr != "" {
+		meter = new(telemetry.Counters)
+	}
+	if pprofAddr != "" {
+		addr, stop, err := telemetry.StartDebugServer(pprofAddr, meter)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "popsim: pprof at http://%s/debug/pprof/, metrics at http://%s/metrics\n", addr, addr)
+	}
 	jobs := runner.TrialJobs(g, factory, seed, trials,
 		sim.Options{MaxSteps: maxSteps, DropRate: dropRate, Scheduler: sched})
-	outcomes := runner.Pool{Workers: workers}.Run(jobs)
+	outcomes := runner.Pool{Workers: workers, Meter: meter}.Run(jobs)
+	if metrics != "" {
+		if err := telemetry.WriteSnapshotFile(metrics, meter); err != nil {
+			return err
+		}
+		s := meter.Snapshot()
+		fmt.Fprintf(os.Stderr, "popsim: wrote %s (%d steps, %.3g steps/sec)\n",
+			metrics, s.StepsExecuted, s.StepsPerSec())
+	}
 
 	steps := make([]float64, 0, trials)
 	failed, crashed := 0, 0

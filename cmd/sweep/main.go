@@ -2,7 +2,8 @@
 // × sizes × protocols × drop rates — in parallel across all cores,
 // writes one JSON Lines record per trial, and prints a per-cell summary
 // table. Per-trial seeds are derived from the grid position, so the
-// .jsonl log and the table are byte-identical for any -workers value.
+// .jsonl log and the table are identical for any -workers value (the
+// only host-dependent record fields are the trailing wall-time ones).
 //
 // Usage:
 //
@@ -12,11 +13,22 @@
 //	sweep -graphs ws:N:4:0.1,ba:N:3 -sizes 64,128 \
 //	      -schedulers uniform,weighted:exp,churn:64:16 -protocols six-state
 //	sweep -spec sweep.json -workers 4 -markdown
+//	sweep -spec sweep.json -progress -metrics metrics.json \
+//	      -journal journal.jsonl -trajectory traj.jsonl -pprof :6060
 //
 // The -spec file is JSON with fields name, seed, trials, graphs, sizes,
 // schedulers, protocols, drop_rates, max_steps (see internal/sweep);
 // explicit flags override the corresponding spec fields. Progress
 // streams to stderr; the summary table goes to stdout.
+//
+// Flight-recorder flags: -metrics writes an aggregated telemetry
+// snapshot (steps, chunks, RNG refills, drops, kernel dispatch mix,
+// latency histograms) as JSON; -journal writes a phase-span run journal
+// as JSONL; -trajectory writes per-trial (step, leaders, gap) curves as
+// JSONL; -pprof serves net/http/pprof plus the live snapshot at
+// /metrics; -progress adds a throttled done/total (ETA …) stderr line.
+// Telemetry never touches the random stream, so the records stay
+// byte-identical with or without it.
 package main
 
 import (
@@ -25,50 +37,75 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"popgraph/internal/results"
 	"popgraph/internal/runner"
 	"popgraph/internal/sweep"
+	"popgraph/internal/telemetry"
 )
 
+// cliConfig carries the parsed flag set into run.
+type cliConfig struct {
+	specFile   string
+	graphs     string
+	sizes      string
+	scheds     string
+	protocols  string
+	drops      string
+	trials     int
+	seed       uint64
+	seedSet    bool
+	maxSteps   int64
+	workers    int
+	out        string
+	markdown   bool
+	quiet      bool
+	progress   bool
+	metrics    string
+	journal    string
+	trajectory string
+	pprofAddr  string
+}
+
 func main() {
-	var (
-		specFile  = flag.String("spec", "", "JSON sweep spec file (flags override its fields)")
-		graphs    = flag.String("graphs", "", "comma-separated graph templates, N = size rung (e.g. clique:N,torus:NxN)")
-		sizes     = flag.String("sizes", "", "comma-separated size ladder substituted for N")
-		scheds    = flag.String("schedulers", "", "comma-separated schedulers (uniform|weighted[:exp|:degprod]|node-clock|churn:UP:DOWN)")
-		protocols = flag.String("protocols", "", "comma-separated protocols (six-state|identifier|identifier-regular|fast|star|majority:FRAC)")
-		drops     = flag.String("drop", "", "comma-separated drop rates in [0,1)")
-		trialsN   = flag.Int("trials", 0, "trials per grid cell")
-		seed      = flag.Uint64("seed", 1, "base random seed (overrides the spec file's)")
-		maxSteps  = flag.Int64("max-steps", -1, "step cap per trial (0 = automatic 72·n⁴·log₂n — set explicitly for large n if trials may not stabilize)")
-		workers   = flag.Int("workers", 0, "parallel trials (0 = all cores)")
-		out       = flag.String("out", "sweep.jsonl", "JSON Lines output path (empty = skip)")
-		markdown  = flag.Bool("markdown", false, "render the summary table as Markdown")
-		quiet     = flag.Bool("q", false, "suppress progress output")
-	)
+	var c cliConfig
+	flag.StringVar(&c.specFile, "spec", "", "JSON sweep spec file (flags override its fields)")
+	flag.StringVar(&c.graphs, "graphs", "", "comma-separated graph templates, N = size rung (e.g. clique:N,torus:NxN)")
+	flag.StringVar(&c.sizes, "sizes", "", "comma-separated size ladder substituted for N")
+	flag.StringVar(&c.scheds, "schedulers", "", "comma-separated schedulers (uniform|weighted[:exp|:degprod]|node-clock|churn:UP:DOWN)")
+	flag.StringVar(&c.protocols, "protocols", "", "comma-separated protocols (six-state|identifier|identifier-regular|fast|star|majority:FRAC)")
+	flag.StringVar(&c.drops, "drop", "", "comma-separated drop rates in [0,1)")
+	flag.IntVar(&c.trials, "trials", 0, "trials per grid cell")
+	flag.Uint64Var(&c.seed, "seed", 1, "base random seed (overrides the spec file's)")
+	flag.Int64Var(&c.maxSteps, "max-steps", -1, "step cap per trial (0 = automatic 72·n⁴·log₂n — set explicitly for large n if trials may not stabilize)")
+	flag.IntVar(&c.workers, "workers", 0, "parallel trials (0 = all cores)")
+	flag.StringVar(&c.out, "out", "sweep.jsonl", "JSON Lines output path (empty = skip)")
+	flag.BoolVar(&c.markdown, "markdown", false, "render the summary table as Markdown")
+	flag.BoolVar(&c.quiet, "q", false, "suppress progress output")
+	flag.BoolVar(&c.progress, "progress", false, "live done/total (ETA …) progress line on stderr, throttled")
+	flag.StringVar(&c.metrics, "metrics", "", "write the aggregated telemetry snapshot as JSON to this path")
+	flag.StringVar(&c.journal, "journal", "", "write the phase-span run journal as JSONL to this path")
+	flag.StringVar(&c.trajectory, "trajectory", "", "write per-trial (step, leaders, gap) trajectories as JSONL to this path")
+	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof and /metrics on this address (e.g. :6060)")
 	flag.Parse()
 	// 0 is a valid -seed, so "was the flag given" must come from the
 	// flag set, not from a sentinel value.
-	seedSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
-			seedSet = true
+			c.seedSet = true
 		}
 	})
-	if err := run(*specFile, *graphs, *sizes, *scheds, *protocols, *drops, *trialsN,
-		*seed, seedSet, *maxSteps, *workers, *out, *markdown, *quiet); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specFile, graphs, sizes, scheds, protocols, drops string, trials int,
-	seed uint64, seedSet bool, maxSteps int64, workers int, out string,
-	markdown, quiet bool) error {
+func run(c cliConfig) error {
 	spec := sweep.Spec{Seed: 1, Trials: 5}
-	if specFile != "" {
-		data, err := os.ReadFile(specFile)
+	if c.specFile != "" {
+		data, err := os.ReadFile(c.specFile)
 		if err != nil {
 			return err
 		}
@@ -77,50 +114,85 @@ func run(specFile, graphs, sizes, scheds, protocols, drops string, trials int,
 			return err
 		}
 	}
-	if graphs != "" {
-		spec.Graphs = splitList(graphs)
+	if c.graphs != "" {
+		spec.Graphs = splitList(c.graphs)
 	}
-	if sizes != "" {
-		ns, err := parseInts(sizes)
+	if c.sizes != "" {
+		ns, err := parseInts(c.sizes)
 		if err != nil {
 			return fmt.Errorf("bad -sizes: %w", err)
 		}
 		spec.Sizes = ns
 	}
-	if scheds != "" {
-		spec.Schedulers = splitList(scheds)
+	if c.scheds != "" {
+		spec.Schedulers = splitList(c.scheds)
 	}
-	if protocols != "" {
-		spec.Protocols = splitList(protocols)
+	if c.protocols != "" {
+		spec.Protocols = splitList(c.protocols)
 	}
-	if drops != "" {
-		qs, err := parseFloats(drops)
+	if c.drops != "" {
+		qs, err := parseFloats(c.drops)
 		if err != nil {
 			return fmt.Errorf("bad -drop: %w", err)
 		}
 		spec.DropRates = qs
 	}
-	if trials > 0 {
-		spec.Trials = trials
+	if c.trials > 0 {
+		spec.Trials = c.trials
 	}
-	if seedSet {
-		spec.Seed = seed
+	if c.seedSet {
+		spec.Seed = c.seed
 	}
-	if maxSteps >= 0 {
-		spec.MaxSteps = maxSteps
+	if c.maxSteps >= 0 {
+		spec.MaxSteps = c.maxSteps
 	}
 
+	// Flight recorder: the meter exists whenever anything consumes it; a
+	// nil journal is a valid no-op recorder, so its spans are emitted
+	// unconditionally.
+	var meter *telemetry.Counters
+	if c.metrics != "" || c.pprofAddr != "" {
+		meter = new(telemetry.Counters)
+	}
+	var journal *telemetry.Journal
+	if c.journal != "" {
+		var err error
+		journal, err = telemetry.OpenJournal(c.journal)
+		if err != nil {
+			return err
+		}
+	}
+	if c.pprofAddr != "" {
+		addr, stop, err := telemetry.StartDebugServer(c.pprofAddr, meter)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		if !c.quiet {
+			fmt.Fprintf(os.Stderr, "sweep: pprof at http://%s/debug/pprof/, metrics at http://%s/metrics\n", addr, addr)
+		}
+	}
+
+	endBuild := journal.Span("build", map[string]any{"graphs": len(spec.GraphSpecs())})
 	tasks, err := spec.Build()
+	endBuild()
 	if err != nil {
 		return err
 	}
 	total := sweep.Trials(tasks)
-	if !quiet {
+	if !c.quiet {
 		fmt.Fprintf(os.Stderr, "sweep: %d cells × %d trials = %d runs\n",
 			len(tasks), spec.Trials, total)
 	}
-	pool := runner.Pool{Workers: workers}
-	if !quiet {
+	var trajs []*telemetry.Trajectory
+	if c.trajectory != "" {
+		trajs = sweep.AttachTrajectories(tasks, telemetry.DefaultTrajectorySamples)
+	}
+	pool := runner.Pool{Workers: c.workers, Meter: meter, Journal: journal}
+	switch {
+	case c.progress:
+		pool.Progress = etaProgress(time.Now())
+	case !c.quiet:
 		pool.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d trials", done, total)
 			if done == total {
@@ -147,20 +219,42 @@ func run(specFile, graphs, sizes, scheds, protocols, drops string, trials int,
 			crashed, len(recs))
 	}
 
-	if out != "" {
-		f, err := os.Create(out)
+	if c.out != "" {
+		endWrite := journal.Span("write", map[string]any{"records": len(recs), "path": c.out})
+		err := writeRecords(c.out, recs)
+		endWrite()
 		if err != nil {
 			return err
 		}
-		if err := results.Write(f, recs); err != nil {
-			f.Close()
+		if !c.quiet {
+			fmt.Fprintf(os.Stderr, "sweep: wrote %d records to %s\n", len(recs), c.out)
+		}
+	}
+	if c.trajectory != "" {
+		tl, err := telemetry.OpenTrajectoryLog(c.trajectory)
+		if err != nil {
 			return err
 		}
-		if err := f.Close(); err != nil {
+		for _, tr := range trajs {
+			if tr != nil {
+				tl.WriteTrial(tr.Samples())
+			}
+		}
+		if err := tl.Close(); err != nil {
 			return err
 		}
-		if !quiet {
-			fmt.Fprintf(os.Stderr, "sweep: wrote %d records to %s\n", len(recs), out)
+		if !c.quiet {
+			fmt.Fprintf(os.Stderr, "sweep: wrote %d trajectories to %s\n", len(trajs), c.trajectory)
+		}
+	}
+	if c.metrics != "" {
+		if err := telemetry.WriteSnapshotFile(c.metrics, meter); err != nil {
+			return err
+		}
+		if !c.quiet {
+			s := meter.Snapshot()
+			fmt.Fprintf(os.Stderr, "sweep: wrote %s (%d steps, %.3g steps/sec, kernels %s)\n",
+				c.metrics, s.StepsExecuted, s.StepsPerSec(), strings.Join(s.KernelMix(), " "))
 		}
 	}
 
@@ -168,14 +262,60 @@ func run(specFile, graphs, sizes, scheds, protocols, drops string, trials int,
 	if title == "" {
 		title = "sweep"
 	}
+	endAgg := journal.Span("aggregate", map[string]any{"records": len(recs)})
 	t := results.SummaryTable(fmt.Sprintf("%s (seed %d)", title, spec.Seed),
 		results.Aggregate(recs))
-	if markdown {
+	endAgg()
+	if c.markdown {
 		t.WriteMarkdown(os.Stdout)
 	} else {
 		t.WriteText(os.Stdout)
 	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// etaProgress returns a Progress callback printing a throttled
+// "done/total (ETA …)" line. Callbacks arrive serialized on the pool's
+// reporter goroutine, so the closure state needs no locking; throttling
+// caps the stderr traffic at ~5 lines/sec however fast trials finish,
+// with the final done == total call always printed.
+func etaProgress(start time.Time) func(done, total int) {
+	var last time.Time
+	return func(done, total int) {
+		now := time.Now()
+		if done < total && now.Sub(last) < 200*time.Millisecond {
+			return
+		}
+		last = now
+		line := fmt.Sprintf("\rsweep: %d/%d trials", done, total)
+		if done > 0 && done < total {
+			rate := float64(now.Sub(start)) / float64(done)
+			eta := time.Duration(rate * float64(total-done)).Round(time.Second)
+			line += fmt.Sprintf(" (ETA %s)", eta)
+		}
+		// Trailing spaces wipe leftovers of a longer previous line.
+		fmt.Fprint(os.Stderr, line, "        ")
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+func writeRecords(path string, recs []results.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := results.Write(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func splitList(s string) []string {

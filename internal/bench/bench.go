@@ -28,11 +28,13 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	"popgraph"
 	"popgraph/internal/runner"
 	"popgraph/internal/sim"
+	"popgraph/internal/telemetry"
 )
 
 // Schema identifies the BENCH_sim.json layout; bump on breaking changes.
@@ -174,6 +176,16 @@ func DefaultGrid(quick bool) []Config {
 // Run times every config and assembles the report. logf, if non-nil,
 // receives one progress line per cell.
 func Run(cfgs []Config, seed uint64, logf func(format string, args ...interface{})) (Report, error) {
+	return RunMetered(cfgs, seed, logf, nil)
+}
+
+// RunMetered is Run with a flight-recorder meter attached to every
+// timed trial (warmups included). Metering accounts at chunk
+// granularity on the kernels' control path, so the throughput numbers
+// stay within the -compare gate's noise band of an unmetered run; nil
+// disables it, making RunMetered exactly Run.
+func RunMetered(cfgs []Config, seed uint64, logf func(format string, args ...interface{}),
+	meter *telemetry.Counters) (Report, error) {
 	rep := Report{
 		Schema:    Schema,
 		GoVersion: runtime.Version(),
@@ -182,7 +194,7 @@ func Run(cfgs []Config, seed uint64, logf func(format string, args ...interface{
 		Seed:      seed,
 	}
 	for i, cfg := range cfgs {
-		m, err := measure(cfg, seed)
+		m, err := measure(cfg, seed, meter)
 		if err != nil {
 			return Report{}, fmt.Errorf("bench: config %d (%s × %s): %w",
 				i, cfg.GraphSpec, cfg.Protocol, err)
@@ -205,7 +217,7 @@ func Run(cfgs []Config, seed uint64, logf func(format string, args ...interface{
 }
 
 // measure times one cell on both engines.
-func measure(cfg Config, seed uint64) (Measurement, error) {
+func measure(cfg Config, seed uint64, meter *telemetry.Counters) (Measurement, error) {
 	if cfg.Steps < 1 || cfg.Trials < 1 {
 		return Measurement{}, fmt.Errorf("steps and trials must be >= 1 (got %d, %d)",
 			cfg.Steps, cfg.Trials)
@@ -251,7 +263,7 @@ func measure(cfg Config, seed uint64) (Measurement, error) {
 	// timed — "step" cells have no separate interface variant, generic-
 	// engine cells (churn) no separate reference loop — are timed once
 	// and the stats copied, making the corresponding speedup exactly 1.
-	spec, err := timeEngine(g, factory, seed, cfg, opts)
+	spec, err := timeEngine(g, factory, seed, cfg, opts, meter)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -259,7 +271,7 @@ func measure(cfg Config, seed uint64) (Measurement, error) {
 	if m.ProtocolEngine == "table" {
 		ifaceOpts := opts
 		ifaceOpts.NoTable = true
-		iface, err = timeEngine(g, factory, seed, cfg, ifaceOpts)
+		iface, err = timeEngine(g, factory, seed, cfg, ifaceOpts, meter)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -268,7 +280,7 @@ func measure(cfg Config, seed uint64) (Measurement, error) {
 	if m.Engine != "generic" {
 		refOpts := opts
 		refOpts.Reference = true
-		gen, err = timeEngine(g, factory, seed, cfg, refOpts)
+		gen, err = timeEngine(g, factory, seed, cfg, refOpts, meter)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -287,13 +299,13 @@ func measure(cfg Config, seed uint64) (Measurement, error) {
 // trial runs first, untimed, to populate caches and let the protocol's
 // graph-dependent setup settle.
 func timeEngine(g popgraph.Graph, factory func() popgraph.Protocol, seed uint64,
-	cfg Config, opts sim.Options) (EngineStats, error) {
+	cfg Config, opts sim.Options, meter *telemetry.Counters) (EngineStats, error) {
 	warm := opts
 	warm.MaxSteps = cfg.Steps / 8
 	if warm.MaxSteps < 1 {
 		warm.MaxSteps = 1
 	}
-	pool := runner.Pool{Workers: 1}
+	pool := runner.Pool{Workers: 1, Meter: meter}
 	pool.Run(runner.TrialJobs(g, factory, seed, 1, warm))
 
 	jobs := runner.TrialJobs(g, factory, seed, cfg.Trials, opts)
@@ -447,6 +459,37 @@ func WriteDeltaMarkdown(w io.Writer, rows []CellDelta, tol float64) error {
 		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %g | %s/%s | %s | %s | %s | %s |\n",
 			r.GraphSpec, r.Scheduler, r.Protocol, r.Drop, r.Engine, r.ProtocolEngine,
 			fmtNs(r.BaseNs), fmtNs(r.CurNs), delta, status); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTelemetryMarkdown renders a flight-recorder snapshot's top-line
+// counters — steps/sec, RNG refills per million steps, the kernel
+// dispatch mix — as GitHub-flavored markdown; CI appends it to the
+// bench-smoke step summary next to the delta table.
+func WriteTelemetryMarkdown(w io.Writer, s telemetry.Snapshot) error {
+	if _, err := fmt.Fprintf(w, "### engine telemetry\n\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| metric | value |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| --- | --- |"); err != nil {
+		return err
+	}
+	rows := [][2]string{
+		{"steps executed", fmt.Sprintf("%d", s.StepsExecuted)},
+		{"steps/sec", fmt.Sprintf("%.3g", s.StepsPerSec())},
+		{"RNG refills / Mstep", fmt.Sprintf("%.1f", s.RefillsPerMStep())},
+		{"chunks run", fmt.Sprintf("%d", s.ChunksRun)},
+		{"drops applied", fmt.Sprintf("%d", s.DropsApplied)},
+		{"trials (stabilized/run)", fmt.Sprintf("%d/%d", s.TrialsStabilized, s.TrialsRun)},
+		{"kernel mix", strings.Join(s.KernelMix(), "<br>")},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %s | %s |\n", r[0], r[1]); err != nil {
 			return err
 		}
 	}

@@ -4,9 +4,11 @@
 // rendered through internal/table.
 //
 // The encoding is deliberately boring: one JSON object per line, fixed
-// field order (Go struct order), no timestamps or host-dependent fields,
-// so that the same seed and spec produce byte-identical logs regardless
-// of worker count or machine.
+// field order (Go struct order), so that the same seed and spec produce
+// identical logs regardless of worker count. The only host-dependent
+// fields are the two trailing wall-time ones (elapsed_ns, queue_wait_ns);
+// everything before them is byte-deterministic, and determinism tests
+// compare logs with the timing fields normalized out.
 package results
 
 import (
@@ -49,6 +51,13 @@ type Record struct {
 	// Error is the panic message when the trial crashed instead of
 	// completing (runner.Outcome.Err); empty for healthy trials.
 	Error string `json:"error,omitempty"`
+	// ElapsedNs is the trial's wall-clock execution time and QueueWaitNs
+	// its wait for a worker slot, in nanoseconds (runner.Outcome timing).
+	// The only host-dependent fields in a record; kept last so the
+	// deterministic prefix of each line is stable, and omitted when zero
+	// so logs from producers predating them round-trip unchanged.
+	ElapsedNs   int64 `json:"elapsed_ns,omitempty"`
+	QueueWaitNs int64 `json:"queue_wait_ns,omitempty"`
 }
 
 // Failed reports whether the trial crashed instead of completing.
@@ -119,6 +128,9 @@ type Group struct {
 	// BackupMean is the mean number of backup-phase nodes per completed
 	// (non-crashed) trial; 0 when every trial crashed.
 	BackupMean float64
+	// ElapsedMeanNs is the mean wall-clock time per completed trial in
+	// nanoseconds; 0 when the records carry no timing (older logs).
+	ElapsedMeanNs float64
 }
 
 // Aggregate groups records by configuration key, preserving first-
@@ -128,6 +140,7 @@ func Aggregate(recs []Record) []Group {
 	var order []Key
 	steps := make(map[Key][]float64)
 	backup := make(map[Key]float64)
+	elapsed := make(map[Key]float64)
 	groups := make(map[Key]*Group)
 	for _, rec := range recs {
 		k := rec.Key()
@@ -139,6 +152,9 @@ func Aggregate(recs []Record) []Group {
 		g := groups[k]
 		g.Trials++
 		backup[k] += float64(rec.Backup)
+		if !rec.Failed() {
+			elapsed[k] += float64(rec.ElapsedNs)
+		}
 		if rec.Failed() {
 			g.Failed++
 		} else if rec.Stabilized {
@@ -154,8 +170,10 @@ func Aggregate(recs []Record) []Group {
 		}
 		// Crashed trials report Backup = 0 vacuously; averaging over them
 		// would dilute the statistic, so divide by completed trials only.
+		// Same for wall time: a crashed trial's timing measures the crash.
 		if completed := g.Trials - g.Failed; completed > 0 {
 			g.BackupMean = backup[k] / float64(completed)
+			g.ElapsedMeanNs = elapsed[k] / float64(completed)
 		}
 		out = append(out, *g)
 	}
@@ -170,7 +188,7 @@ func Aggregate(recs []Record) []Group {
 func SummaryTable(title string, groups []Group) *table.Table {
 	t := table.New(title,
 		"graph", "n", "m", "sched", "protocol", "drop", "steps(mean)", "±95%",
-		"median", "max", "stab", "backup")
+		"median", "max", "stab", "backup", "time(ms)")
 	for _, g := range groups {
 		sched := g.Scheduler
 		if sched == "" {
@@ -180,14 +198,20 @@ func SummaryTable(title string, groups []Group) *table.Table {
 		if g.Failed > 0 {
 			stab += fmt.Sprintf(" (%d err)", g.Failed)
 		}
+		// Wall time per completed trial; records without timing (older
+		// logs) render as a dash rather than a misleading 0.
+		timeCell := any("—")
+		if g.ElapsedMeanNs > 0 {
+			timeCell = g.ElapsedMeanNs / 1e6
+		}
 		if g.Stabilized == 0 {
 			t.AddRow(g.Graph, g.N, g.M, sched, g.Protocol, g.DropRate,
-				"—", "—", "—", "—", stab, g.BackupMean)
+				"—", "—", "—", "—", stab, g.BackupMean, timeCell)
 			continue
 		}
 		t.AddRow(g.Graph, g.N, g.M, sched, g.Protocol, g.DropRate,
 			g.Steps.Mean, g.Steps.CI95(), g.Steps.Median, g.Steps.Max,
-			stab, g.BackupMean)
+			stab, g.BackupMean, timeCell)
 	}
 	return t
 }

@@ -170,9 +170,67 @@ func TestSummaryTableNoStabilizedRendersDash(t *testing.T) {
 	if !strings.Contains(out, "0/2") {
 		t.Fatalf("stab column wrong:\n%s", out)
 	}
-	// All four step statistics (mean, CI, median, max) must be dashes.
-	if strings.Count(out, "—") != 4 {
-		t.Fatalf("want 4 dash markers, got %d:\n%s", strings.Count(out, "—"), out)
+	// All four step statistics (mean, CI, median, max) must be dashes,
+	// plus the time column: these records carry no timing.
+	if strings.Count(out, "—") != 5 {
+		t.Fatalf("want 5 dash markers, got %d:\n%s", strings.Count(out, "—"), out)
+	}
+}
+
+// TestTimingFieldsRoundTripAndAggregate: elapsed_ns/queue_wait_ns
+// survive the JSONL round trip, stay omitted when zero (so old logs
+// re-encode unchanged), aggregate into a completed-trials mean, and the
+// table renders the time column — with a dash for timing-free groups.
+func TestTimingFieldsRoundTripAndAggregate(t *testing.T) {
+	recs := []Record{
+		{Graph: "g", N: 8, M: 12, Protocol: "p", Trial: 0, Seed: 1,
+			Steps: 100, Stabilized: true, Leader: 0,
+			ElapsedNs: 4_000_000, QueueWaitNs: 1_000},
+		{Graph: "g", N: 8, M: 12, Protocol: "p", Trial: 1, Seed: 2,
+			Steps: 120, Stabilized: true, Leader: 1,
+			ElapsedNs: 2_000_000, QueueWaitNs: 3_000},
+		{Graph: "g", N: 8, M: 12, Protocol: "p", Trial: 2, Seed: 3,
+			Steps: 0, Stabilized: false, Leader: -1, Error: "boom",
+			ElapsedNs: 9_000_000},
+	}
+	var jsonl bytes.Buffer
+	if err := Write(&jsonl, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"elapsed_ns":4000000`) ||
+		!strings.Contains(jsonl.String(), `"queue_wait_ns":3000`) {
+		t.Fatalf("timing fields missing from JSONL:\n%s", jsonl.String())
+	}
+	back, err := Read(&jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+	// Zero timing (a log from a producer predating the fields) encodes no
+	// timing keys at all.
+	var legacy bytes.Buffer
+	if err := Write(&legacy, []Record{{Graph: "g", N: 4, M: 3, Protocol: "p",
+		Steps: 5, Stabilized: true, Leader: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(legacy.String(), "elapsed_ns") ||
+		strings.Contains(legacy.String(), "queue_wait_ns") {
+		t.Fatalf("zero timing fields encoded:\n%s", legacy.String())
+	}
+	// The crashed trial's 9ms must not pollute the mean over completed
+	// trials: (4ms + 2ms) / 2.
+	groups := Aggregate(recs)
+	if len(groups) != 1 || groups[0].ElapsedMeanNs != 3_000_000 {
+		t.Fatalf("ElapsedMeanNs = %v, want 3e6", groups[0].ElapsedMeanNs)
+	}
+	var buf bytes.Buffer
+	SummaryTable("timed", groups).WriteText(&buf)
+	if !strings.Contains(buf.String(), "time(ms)") || !strings.Contains(buf.String(), "3") {
+		t.Fatalf("time column missing:\n%s", buf.String())
 	}
 }
 

@@ -15,9 +15,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"popgraph/internal/graph"
 	"popgraph/internal/sim"
+	"popgraph/internal/telemetry"
 	"popgraph/internal/xrand"
 )
 
@@ -59,6 +61,20 @@ type Outcome struct {
 	// Leader = -1, and never takes down the batch: the pool records the
 	// failure and keeps draining the remaining jobs.
 	Err string
+	// ElapsedNs is the trial's wall-clock execution time and QueueWaitNs
+	// the time it spent waiting between batch submission and a worker
+	// picking it up, both in nanoseconds. Timing is host- and
+	// load-dependent — everything else in an Outcome is deterministic for
+	// a fixed seed, so determinism comparisons go through Same, not
+	// struct equality.
+	ElapsedNs   int64
+	QueueWaitNs int64
+}
+
+// Same reports whether two outcomes agree on every deterministic field
+// (result, backup count, error), ignoring the wall-clock timing.
+func (o Outcome) Same(other Outcome) bool {
+	return o.Result == other.Result && o.Backup == other.Backup && o.Err == other.Err
 }
 
 // Failed reports whether the trial crashed instead of completing.
@@ -72,9 +88,23 @@ type Pool struct {
 	// Workers is the number of concurrent trials; <= 0 means
 	// GOMAXPROCS(0).
 	Workers int
-	// Progress, if non-nil, is called after each trial completes with the
-	// number of finished trials and the total. Calls are serialized.
+	// Progress, if non-nil, receives completion updates with the number
+	// of finished trials and the total. Calls are serialized on a
+	// dedicated goroutine, off the workers' critical path: a slow
+	// callback coalesces updates (counts stay strictly increasing and the
+	// final call always reports done == total) instead of serializing
+	// trial completion.
 	Progress func(done, total int)
+	// Meter, if non-nil, aggregates flight-recorder telemetry for the
+	// batch. Each worker feeds a private shard — engine accounting via
+	// sim.Options.Meter plus per-trial wall-time and queue-wait — and the
+	// shards are merged into Meter after the pool drains, so the hot path
+	// never contends on shared counters. Jobs that already carry their
+	// own Opts.Meter keep it.
+	Meter *telemetry.Counters
+	// Journal, if non-nil, receives a "run" span covering the whole
+	// batch. Nil is fine: a nil journal records nothing.
+	Journal *telemetry.Journal
 }
 
 // Run executes all jobs and returns their outcomes in job order,
@@ -91,14 +121,49 @@ func (p Pool) Run(jobs []Job) []Outcome {
 	if len(jobs) == 0 {
 		return outcomes
 	}
+	endBatch := p.Journal.Span("run", map[string]any{"trials": len(jobs), "workers": workers})
+	defer endBatch()
 	var (
-		next int64 = -1
-		done int   // guarded by mu, so Progress sees strictly increasing counts
-		wg   sync.WaitGroup
-		mu   sync.Mutex
+		start        = time.Now()
+		next   int64 = -1
+		done   atomic.Int64
+		notify chan struct{}
+		wg     sync.WaitGroup
+		repWG  sync.WaitGroup
 	)
+	if p.Progress != nil {
+		// The reporter goroutine owns all Progress calls: workers only
+		// bump the atomic counter and poke the buffered channel (never
+		// blocking), so a slow callback coalesces updates rather than
+		// stalling trial completion. Counts are strictly increasing
+		// because one goroutine reads the monotone counter, and the
+		// post-close report guarantees a final done == total call even
+		// when the last notification was coalesced away.
+		notify = make(chan struct{}, 1)
+		repWG.Add(1)
+		go func() {
+			defer repWG.Done()
+			last := int64(0)
+			report := func() {
+				if d := done.Load(); d > last {
+					last = d
+					p.Progress(int(d), len(jobs))
+				}
+			}
+			for range notify {
+				report()
+			}
+			report()
+		}()
+	}
+	shards := make([]*telemetry.Counters, workers)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		var shard *telemetry.Counters
+		if p.Meter != nil {
+			shard = new(telemetry.Counters)
+			shards[w] = shard
+		}
 		go func() {
 			defer wg.Done()
 			for {
@@ -106,17 +171,41 @@ func (p Pool) Run(jobs []Job) []Outcome {
 				if i >= len(jobs) {
 					return
 				}
-				outcomes[i] = runOne(jobs[i])
-				if p.Progress != nil {
-					mu.Lock()
-					done++
-					p.Progress(done, len(jobs))
-					mu.Unlock()
+				j := jobs[i]
+				if shard != nil && j.Opts.Meter == nil {
+					j.Opts.Meter = shard
+				}
+				queueWait := time.Since(start)
+				t0 := time.Now()
+				o := runOne(j)
+				o.ElapsedNs = time.Since(t0).Nanoseconds()
+				o.QueueWaitNs = queueWait.Nanoseconds()
+				if shard != nil {
+					shard.AddTrial(o.ElapsedNs, o.QueueWaitNs, o.Result.Stabilized, o.Failed())
+				}
+				outcomes[i] = o
+				done.Add(1)
+				if notify != nil {
+					select {
+					case notify <- struct{}{}:
+					default:
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if notify != nil {
+		close(notify)
+		repWG.Wait()
+	}
+	if p.Meter != nil {
+		for _, s := range shards {
+			if s != nil {
+				p.Meter.Merge(s.Snapshot())
+			}
+		}
+	}
 	return outcomes
 }
 

@@ -1,15 +1,18 @@
 package runner
 
 import (
+	"bytes"
 	"runtime"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"popgraph/internal/graph"
 	"popgraph/internal/protocols/beauquier"
 	"popgraph/internal/protocols/star"
 	"popgraph/internal/sim"
+	"popgraph/internal/telemetry"
 )
 
 func factory() sim.Protocol { return beauquier.New() }
@@ -36,7 +39,7 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		t.Fatalf("outcome counts %d, %d", len(serial), len(parallel))
 	}
 	for i := range serial {
-		if serial[i] != parallel[i] {
+		if !serial[i].Same(parallel[i]) {
 			t.Fatalf("trial %d diverged: serial %+v parallel %+v",
 				i, serial[i], parallel[i])
 		}
@@ -52,7 +55,7 @@ func TestRunWithDropRateDeterministic(t *testing.T) {
 	a := Pool{Workers: 1}.Run(jobs)
 	b := Pool{Workers: 4}.Run(jobs)
 	for i := range a {
-		if a[i] != b[i] {
+		if !a[i].Same(b[i]) {
 			t.Fatalf("trial %d diverged under drops: %+v vs %+v", i, a[i], b[i])
 		}
 	}
@@ -80,29 +83,156 @@ func TestScriptedSamplerThroughRunner(t *testing.T) {
 	}
 }
 
-func TestProgressReportsEveryTrial(t *testing.T) {
+func TestProgressMonotonicAndFinal(t *testing.T) {
 	g := graph.NewClique(8)
 	jobs := TrialJobs(g, factory, 3, 9, sim.Options{})
-	var mu sync.Mutex
-	var dones []int
-	pool := Pool{Workers: 4, Progress: func(done, total int) {
-		mu.Lock()
-		defer mu.Unlock()
-		if total != 9 {
-			t.Errorf("total %d, want 9", total)
+	for _, workers := range []int{1, 4} {
+		var dones []int
+		pool := Pool{Workers: workers, Progress: func(done, total int) {
+			// Calls come from one reporter goroutine; no locking needed.
+			if total != 9 {
+				t.Errorf("total %d, want 9", total)
+			}
+			dones = append(dones, done)
+		}}
+		pool.Run(jobs)
+		// Updates may coalesce under a slow or busy reporter, so the
+		// contract is strict monotonicity plus a guaranteed final call —
+		// not one call per trial.
+		if len(dones) == 0 {
+			t.Fatal("progress never called")
 		}
-		dones = append(dones, done)
-	}}
-	pool.Run(jobs)
-	if len(dones) != 9 {
-		t.Fatalf("progress called %d times, want 9", len(dones))
+		for i := 1; i < len(dones); i++ {
+			if dones[i] <= dones[i-1] {
+				t.Fatalf("progress counts not strictly increasing: %v", dones)
+			}
+		}
+		if last := dones[len(dones)-1]; last != 9 {
+			t.Fatalf("final progress count %d, want 9 (calls: %v)", last, dones)
+		}
 	}
-	// Calls are serialized and counted under one lock, so the reported
-	// counts must be exactly 1..total in order.
-	for i, d := range dones {
-		if d != i+1 {
-			t.Fatalf("progress counts out of order: %v", dones)
+}
+
+// TestSlowProgressDoesNotSerializeTrials is the regression test for the
+// pool calling Progress while holding its completion lock: a slow
+// callback used to gate every trial completion, so a batch took at
+// least trials × callback-time regardless of worker count. The callback
+// now runs on a dedicated reporter goroutine with coalescing, so the
+// batch finishes on simulation time, not callback time.
+func TestSlowProgressDoesNotSerializeTrials(t *testing.T) {
+	g := graph.NewClique(8)
+	const trials = 12
+	jobs := TrialJobs(g, factory, 3, trials, sim.Options{})
+	const callbackDelay = 30 * time.Millisecond
+	var calls atomic.Int64
+	pool := Pool{Workers: 4, Progress: func(done, total int) {
+		calls.Add(1)
+		time.Sleep(callbackDelay)
+	}}
+	start := time.Now()
+	pool.Run(jobs)
+	elapsed := time.Since(start)
+	// Under the old serialized behaviour this takes >= trials ×
+	// callbackDelay = 360ms; coalescing needs only a handful of calls.
+	// The bound is loose (half the serialized floor) to stay robust on
+	// slow CI machines.
+	if elapsed >= trials*callbackDelay/2 {
+		t.Fatalf("batch took %v with a %v callback — progress still serializes trials (%d calls)",
+			elapsed, callbackDelay, calls.Load())
+	}
+	if calls.Load() == 0 {
+		t.Fatal("progress never called")
+	}
+}
+
+// TestPoolMeterAggregates: a pool-level meter must see every trial —
+// steps equal to the sum of per-outcome steps, one dispatch per trial,
+// trial latency histogram counts matching — via per-worker shards
+// merged after the drain.
+func TestPoolMeterAggregates(t *testing.T) {
+	g := graph.NewClique(12)
+	const trials = 10
+	jobs := TrialJobs(g, factory, 11, trials, sim.Options{})
+	meter := new(telemetry.Counters)
+	outs := Pool{Workers: 4, Meter: meter}.Run(jobs)
+	s := meter.Snapshot()
+	var wantSteps int64
+	var wantStab int64
+	for _, o := range outs {
+		wantSteps += o.Result.Steps
+		if o.Result.Stabilized {
+			wantStab++
 		}
+	}
+	if s.StepsExecuted != wantSteps {
+		t.Fatalf("meter steps %d, outcomes sum %d", s.StepsExecuted, wantSteps)
+	}
+	if s.TrialsRun != trials || s.TrialsStabilized != wantStab || s.TrialsFailed != 0 {
+		t.Fatalf("trial counts: %+v", s)
+	}
+	if s.TrialNs.Count != trials || s.QueueWaitNs.Count != trials {
+		t.Fatalf("latency histogram counts: trial %d queue %d, want %d",
+			s.TrialNs.Count, s.QueueWaitNs.Count, trials)
+	}
+	var runs int64
+	for _, c := range s.KernelDispatch {
+		runs += c
+	}
+	if runs != trials {
+		t.Fatalf("kernel dispatch runs %d, want %d (%v)", runs, trials, s.KernelDispatch)
+	}
+	var sawElapsed bool
+	for _, o := range outs {
+		if o.ElapsedNs < 0 || o.QueueWaitNs < 0 {
+			t.Fatalf("negative timing: %+v", o)
+		}
+		if o.ElapsedNs > 0 {
+			sawElapsed = true
+		}
+	}
+	if !sawElapsed {
+		t.Fatal("no outcome recorded elapsed time")
+	}
+}
+
+// TestPoolMeterCountsFailedTrials: a crashed trial flushes no engine
+// accounting (its recorded steps are 0) but is still counted as a
+// failed trial, keeping snapshot steps equal to the results-log sum.
+func TestPoolMeterCountsFailedTrials(t *testing.T) {
+	clique := graph.NewClique(8)
+	jobs := []Job{
+		{Graph: clique, New: factory, Seed: 1, Opts: sim.Options{}},
+		{Graph: clique, New: func() sim.Protocol { return star.New() }, Seed: 2, Opts: sim.Options{}},
+	}
+	meter := new(telemetry.Counters)
+	outs := Pool{Workers: 2, Meter: meter}.Run(jobs)
+	s := meter.Snapshot()
+	if s.TrialsRun != 2 || s.TrialsFailed != 1 {
+		t.Fatalf("trial counts: %+v", s)
+	}
+	if want := outs[0].Result.Steps + outs[1].Result.Steps; s.StepsExecuted != want {
+		t.Fatalf("meter steps %d, outcomes sum %d", s.StepsExecuted, want)
+	}
+}
+
+func TestPoolJournalRecordsRunSpan(t *testing.T) {
+	g := graph.NewClique(8)
+	jobs := TrialJobs(g, factory, 5, 3, sim.Options{})
+	var buf bytes.Buffer
+	j := telemetry.NewJournal(&buf)
+	Pool{Workers: 2, Journal: j}.Run(jobs)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Span != "run" {
+		t.Fatalf("journal records: %+v", recs)
+	}
+	if recs[0].Attrs["trials"] != 3.0 || recs[0].Attrs["workers"] != 2.0 {
+		t.Fatalf("run span attrs: %+v", recs[0].Attrs)
 	}
 }
 

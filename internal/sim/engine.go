@@ -52,16 +52,24 @@ type kernel interface {
 	// for Step-dispatch kernels, whose protocols maintain their own
 	// counters.
 	sync()
+	// stats returns the run's telemetry tallies: RNG block refills and
+	// interactions suppressed by drop injection. The counters are plain
+	// kernel-local ints bumped on paths that are already cold (the
+	// out-of-line refill) or predictable (the drop branch, short-circuited
+	// away entirely when drop == 0), so accounting never costs the hot
+	// loop an atomic or a call; the plan reads them once per run.
+	stats() (refills, drops int64)
 }
 
 // rngBlock is the shared block-prefetch state: a buffer of raw Uint64
 // outputs, a cursor, and the generator snapshot needed to rewind unused
 // prefetch on finish. Kernels keep one alive across chunk calls.
 type rngBlock struct {
-	buf    [rngBlockSize]uint64
-	k      int
-	saved  xrand.State
-	filled bool
+	buf     [rngBlockSize]uint64
+	k       int
+	saved   xrand.State
+	filled  bool
+	refills int64
 }
 
 func newRngBlock() rngBlock { return rngBlock{k: rngBlockSize} }
@@ -88,6 +96,7 @@ func (b *rngBlock) refill(r *xrand.Rand) {
 	r.Fill(b.buf[:])
 	b.k = 0
 	b.filled = true
+	b.refills++
 }
 
 // finish repositions r as if the consumed values had been drawn one at
@@ -121,6 +130,7 @@ type denseKernel struct {
 	twoM   uint64
 	thresh uint64
 	drop   float64
+	drops  int64
 }
 
 func newDenseKernel(g *graph.Dense, drop float64) *denseKernel {
@@ -148,6 +158,8 @@ func (kn *denseKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bool) 
 			eu, ew := e>>32, e&0xffffffff
 			swap := (eu ^ ew) & -(hi & 1)
 			p.Step(int(eu^swap), int(ew^swap))
+		} else {
+			kn.drops++
 		}
 		if p.Stable() {
 			return i, true
@@ -156,8 +168,9 @@ func (kn *denseKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bool) 
 	return k, false
 }
 
-func (kn *denseKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
-func (kn *denseKernel) sync()                {}
+func (kn *denseKernel) finish(r *xrand.Rand)  { kn.blk.finish(r) }
+func (kn *denseKernel) sync()                 {}
+func (kn *denseKernel) stats() (int64, int64) { return kn.blk.refills, kn.drops }
 
 // cliqueKernel is the uniform-scheduler loop for the implicit complete
 // graph, mirroring graph.Clique.SampleEdge's two-draw construction of a
@@ -168,6 +181,7 @@ type cliqueKernel struct {
 	threshN  uint64
 	threshN1 uint64
 	drop     float64
+	drops    int64
 }
 
 func newCliqueKernel(g graph.Clique, drop float64) *cliqueKernel {
@@ -201,6 +215,8 @@ func (kn *cliqueKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bool)
 		}
 		if kn.drop == 0 || xrand.Float64From(blk.next(r)) >= kn.drop {
 			p.Step(u, v)
+		} else {
+			kn.drops++
 		}
 		if p.Stable() {
 			return i, true
@@ -209,8 +225,9 @@ func (kn *cliqueKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bool)
 	return k, false
 }
 
-func (kn *cliqueKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
-func (kn *cliqueKernel) sync()                {}
+func (kn *cliqueKernel) finish(r *xrand.Rand)  { kn.blk.finish(r) }
+func (kn *cliqueKernel) sync()                 {}
+func (kn *cliqueKernel) stats() (int64, int64) { return kn.blk.refills, kn.drops }
 
 // weightedKernel is the monomorphized alias-table loop for the Weighted
 // scheduler: per step one Lemire reduction over the m columns (with the
@@ -227,6 +244,7 @@ type weightedKernel struct {
 	m      uint64
 	thresh uint64
 	drop   float64
+	drops  int64
 }
 
 func newWeightedKernel(s *Weighted, drop float64) *weightedKernel {
@@ -261,6 +279,8 @@ func (kn *weightedKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, boo
 		}
 		if kn.drop == 0 || xrand.Float64From(blk.next(r)) >= kn.drop {
 			p.Step(u, w)
+		} else {
+			kn.drops++
 		}
 		if p.Stable() {
 			return i, true
@@ -269,8 +289,9 @@ func (kn *weightedKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, boo
 	return k, false
 }
 
-func (kn *weightedKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
-func (kn *weightedKernel) sync()                {}
+func (kn *weightedKernel) finish(r *xrand.Rand)  { kn.blk.finish(r) }
+func (kn *weightedKernel) sync()                 {}
+func (kn *weightedKernel) stats() (int64, int64) { return kn.blk.refills, kn.drops }
 
 // nodeClockKernel is the specialized loop for the NodeClock scheduler:
 // the degree-proportional initiator comes from the alias table exactly
@@ -287,6 +308,7 @@ type nodeClockKernel struct {
 	n     uint64
 	tn    uint64
 	drop  float64
+	drops int64
 }
 
 func newNodeClockKernel(s *NodeClock, drop float64) *nodeClockKernel {
@@ -328,6 +350,8 @@ func (kn *nodeClockKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bo
 		}
 		if kn.drop == 0 || xrand.Float64From(blk.next(r)) >= kn.drop {
 			p.Step(u, v)
+		} else {
+			kn.drops++
 		}
 		if p.Stable() {
 			return i, true
@@ -336,8 +360,9 @@ func (kn *nodeClockKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bo
 	return k, false
 }
 
-func (kn *nodeClockKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
-func (kn *nodeClockKernel) sync()                {}
+func (kn *nodeClockKernel) finish(r *xrand.Rand)  { kn.blk.finish(r) }
+func (kn *nodeClockKernel) sync()                 {}
+func (kn *nodeClockKernel) stats() (int64, int64) { return kn.blk.refills, kn.drops }
 
 // uintn is xrand.Uintn fed from the block buffer: same guarded Lemire
 // rejection, same accepted draws, for bounds that vary per step.
@@ -359,15 +384,22 @@ func (b *rngBlock) uintn(r *xrand.Rand, n uint64) uint64 {
 // byte-identical to this one; it is also the only kernel for schedulers
 // with per-run mutable state (churn) and for custom graph types.
 type sourceKernel struct {
-	src  Source
-	drop float64
+	src   Source
+	drop  float64
+	drops int64
 }
 
 func (kn *sourceKernel) run(p Protocol, r *xrand.Rand, t0, k int64) (int64, bool) {
 	for i := int64(1); i <= k; i++ {
 		u, v, ok := kn.src.Next(t0+i, r)
-		if ok && (kn.drop == 0 || r.Float64() >= kn.drop) {
-			p.Step(u, v)
+		if ok {
+			// Same draw sequence as the historical short-circuit form: the
+			// drop coin is flipped only for delivered pairs.
+			if kn.drop == 0 || r.Float64() >= kn.drop {
+				p.Step(u, v)
+			} else {
+				kn.drops++
+			}
 		}
 		if p.Stable() {
 			return i, true
@@ -376,5 +408,6 @@ func (kn *sourceKernel) run(p Protocol, r *xrand.Rand, t0, k int64) (int64, bool
 	return k, false
 }
 
-func (kn *sourceKernel) finish(*xrand.Rand) {}
-func (kn *sourceKernel) sync()              {}
+func (kn *sourceKernel) finish(*xrand.Rand)    {}
+func (kn *sourceKernel) sync()                 {}
+func (kn *sourceKernel) stats() (int64, int64) { return 0, kn.drops }

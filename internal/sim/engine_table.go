@@ -85,6 +85,7 @@ type denseTableKernel struct {
 	twoM   uint64
 	thresh uint64
 	drop   float64
+	drops  int64
 	tm     tableMachine
 }
 
@@ -119,6 +120,8 @@ func (kn *denseTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int64, b
 			states[u], states[v] = uint8(c>>8), uint8(c)
 			leaders += int(c>>16&0xff) - core.TableDeltaBias
 			gap += int(c>>24) - core.TableDeltaBias
+		} else {
+			kn.drops++
 		}
 		if gap == 0 {
 			tm.leaders, tm.gap = leaders, gap
@@ -129,8 +132,9 @@ func (kn *denseTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int64, b
 	return k, false
 }
 
-func (kn *denseTableKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
-func (kn *denseTableKernel) sync()                { kn.tm.sync() }
+func (kn *denseTableKernel) finish(r *xrand.Rand)  { kn.blk.finish(r) }
+func (kn *denseTableKernel) sync()                 { kn.tm.sync() }
+func (kn *denseTableKernel) stats() (int64, int64) { return kn.blk.refills, kn.drops }
 
 // cliqueTableKernel fuses cliqueKernel's two-draw pair construction
 // with a transition table.
@@ -140,6 +144,7 @@ type cliqueTableKernel struct {
 	threshN  uint64
 	threshN1 uint64
 	drop     float64
+	drops    int64
 	tm       tableMachine
 }
 
@@ -181,6 +186,8 @@ func (kn *cliqueTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int64, 
 			states[u], states[v] = uint8(c>>8), uint8(c)
 			leaders += int(c>>16&0xff) - core.TableDeltaBias
 			gap += int(c>>24) - core.TableDeltaBias
+		} else {
+			kn.drops++
 		}
 		if gap == 0 {
 			tm.leaders, tm.gap = leaders, gap
@@ -191,8 +198,9 @@ func (kn *cliqueTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int64, 
 	return k, false
 }
 
-func (kn *cliqueTableKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
-func (kn *cliqueTableKernel) sync()                { kn.tm.sync() }
+func (kn *cliqueTableKernel) finish(r *xrand.Rand)  { kn.blk.finish(r) }
+func (kn *cliqueTableKernel) sync()                 { kn.tm.sync() }
+func (kn *cliqueTableKernel) stats() (int64, int64) { return kn.blk.refills, kn.drops }
 
 // weightedTableKernel fuses weightedKernel's alias-table edge draw with
 // a transition table.
@@ -204,6 +212,7 @@ type weightedTableKernel struct {
 	m      uint64
 	thresh uint64
 	drop   float64
+	drops  int64
 	tm     tableMachine
 }
 
@@ -246,6 +255,8 @@ func (kn *weightedTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int64
 			states[u], states[v] = uint8(c>>8), uint8(c)
 			leaders += int(c>>16&0xff) - core.TableDeltaBias
 			gap += int(c>>24) - core.TableDeltaBias
+		} else {
+			kn.drops++
 		}
 		if gap == 0 {
 			tm.leaders, tm.gap = leaders, gap
@@ -256,8 +267,9 @@ func (kn *weightedTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int64
 	return k, false
 }
 
-func (kn *weightedTableKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
-func (kn *weightedTableKernel) sync()                { kn.tm.sync() }
+func (kn *weightedTableKernel) finish(r *xrand.Rand)  { kn.blk.finish(r) }
+func (kn *weightedTableKernel) sync()                 { kn.tm.sync() }
+func (kn *weightedTableKernel) stats() (int64, int64) { return kn.blk.refills, kn.drops }
 
 // nodeClockTableKernel fuses nodeClockKernel's degree-proportional
 // initiator draw with a transition table.
@@ -270,6 +282,7 @@ type nodeClockTableKernel struct {
 	n     uint64
 	tn    uint64
 	drop  float64
+	drops int64
 	tm    tableMachine
 }
 
@@ -319,6 +332,8 @@ func (kn *nodeClockTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int6
 			states[u], states[v] = uint8(c>>8), uint8(c)
 			leaders += int(c>>16&0xff) - core.TableDeltaBias
 			gap += int(c>>24) - core.TableDeltaBias
+		} else {
+			kn.drops++
 		}
 		if gap == 0 {
 			tm.leaders, tm.gap = leaders, gap
@@ -329,5 +344,6 @@ func (kn *nodeClockTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int6
 	return k, false
 }
 
-func (kn *nodeClockTableKernel) finish(r *xrand.Rand) { kn.blk.finish(r) }
-func (kn *nodeClockTableKernel) sync()                { kn.tm.sync() }
+func (kn *nodeClockTableKernel) finish(r *xrand.Rand)  { kn.blk.finish(r) }
+func (kn *nodeClockTableKernel) sync()                 { kn.tm.sync() }
+func (kn *nodeClockTableKernel) stats() (int64, int64) { return kn.blk.refills, kn.drops }

@@ -11,6 +11,7 @@ import (
 	"popgraph/internal/protocols/majority"
 	"popgraph/internal/protocols/star"
 	. "popgraph/internal/sim"
+	"popgraph/internal/telemetry"
 	"popgraph/internal/xrand"
 )
 
@@ -296,11 +297,12 @@ func TestPlanEquivalenceMatrix(t *testing.T) {
 								name := fmt.Sprintf("%s/%s/%s/drop%v/cap%d/every%d/seed%d",
 									g.Name(), pc.tag, sc.tag, drop, maxSteps, every, seed)
 								type variant struct {
-									res Result
-									r   *xrand.Rand
-									obs *recordingObserver
+									res   Result
+									r     *xrand.Rand
+									obs   *recordingObserver
+									meter *telemetry.Counters
 								}
-								runVariant := func(ref, forceGeneric, noTable bool) variant {
+								runVariant := func(ref, forceGeneric, noTable, metered bool) variant {
 									r := xrand.New(seed)
 									p := factory()
 									opts := Options{
@@ -309,6 +311,11 @@ func TestPlanEquivalenceMatrix(t *testing.T) {
 										DropRate:  drop,
 										Reference: forceGeneric,
 										NoTable:   noTable,
+									}
+									var meter *telemetry.Counters
+									if metered {
+										meter = new(telemetry.Counters)
+										opts.Meter = meter
 									}
 									var obs *recordingObserver
 									if every > 0 {
@@ -322,17 +329,23 @@ func TestPlanEquivalenceMatrix(t *testing.T) {
 									} else {
 										res = Run(g, p, r, opts)
 									}
-									return variant{res: res, r: r, obs: obs}
+									return variant{res: res, r: r, obs: obs, meter: meter}
 								}
-								want := runVariant(true, false, false)
+								want := runVariant(true, false, false, false)
 								var wantDraws [16]uint64
 								for i := range wantDraws {
 									wantDraws[i] = want.r.Uint64()
 								}
+								// Each plan variant runs bare and metered: the
+								// telemetry axis must be invisible to results,
+								// observers and the random stream.
 								variants := []variant{
-									runVariant(false, false, false), // fused table kernel (when Tabular)
-									runVariant(false, false, true),  // same scheduler kernel, Step dispatch
-									runVariant(false, true, false),  // generic reference kernel
+									runVariant(false, false, false, false), // fused table kernel (when Tabular)
+									runVariant(false, false, false, true),  // ... with flight recorder attached
+									runVariant(false, false, true, false),  // same scheduler kernel, Step dispatch
+									runVariant(false, false, true, true),
+									runVariant(false, true, false, false), // generic reference kernel
+									runVariant(false, true, false, true),
 								}
 								for _, v := range variants {
 									if v.res != want.res {
@@ -346,6 +359,36 @@ func TestPlanEquivalenceMatrix(t *testing.T) {
 										if a := v.r.Uint64(); a != b {
 											t.Fatalf("%s: post-run RNG stream diverged at draw %d", name, i)
 										}
+									}
+									if v.meter == nil {
+										continue
+									}
+									// The flushed accounting must agree exactly
+									// with the run the meter watched.
+									s := v.meter.Snapshot()
+									if s.StepsExecuted != v.res.Steps {
+										t.Fatalf("%s: meter counted %d steps, run took %d", name, s.StepsExecuted, v.res.Steps)
+									}
+									if wantObs := int64(0); every > 0 {
+										wantObs = int64(len(v.obs.ts))
+										if s.ObserverCalls != wantObs {
+											t.Fatalf("%s: meter counted %d observer calls, want %d", name, s.ObserverCalls, wantObs)
+										}
+									} else if s.ObserverCalls != 0 {
+										t.Fatalf("%s: meter counted %d observer calls with no observer", name, s.ObserverCalls)
+									}
+									if drop == 0 && s.DropsApplied != 0 {
+										t.Fatalf("%s: meter counted %d drops at drop rate 0", name, s.DropsApplied)
+									}
+									if drop > 0 && v.res.Steps > 100 && s.DropsApplied == 0 {
+										t.Fatalf("%s: meter counted no drops over %d steps at drop rate %v", name, v.res.Steps, drop)
+									}
+									var runs int64
+									for _, c := range s.KernelDispatch {
+										runs += c
+									}
+									if runs != 1 || s.ChunksRun == 0 {
+										t.Fatalf("%s: dispatch/chunk accounting off: %+v", name, s)
 									}
 								}
 							}

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"popgraph/internal/graph"
+	"popgraph/internal/telemetry"
 	"popgraph/internal/xrand"
 )
 
@@ -63,6 +64,7 @@ type ExecPlan struct {
 	sampler   EdgeSampler // non-nil when Options.Sampler overrode the pair stream
 	weighted  *Weighted
 	nodeClock *NodeClock
+	meter     *telemetry.Counters // Options.Meter: nil disables run accounting
 }
 
 // Engine names the scheduler kernel the plan compiled to —
@@ -133,6 +135,7 @@ func Compile(g graph.Graph, opts Options) (*ExecPlan, error) {
 		observer: opts.Observer,
 		every:    every,
 		noTable:  opts.NoTable,
+		meter:    opts.Meter,
 	}
 	// The uniform policy (nil or Uniform{}, graph-bound or not) is the
 	// graph's own SampleEdge distribution.
@@ -190,29 +193,33 @@ func Compile(g graph.Graph, opts Options) (*ExecPlan, error) {
 // point (after Protocol.Reset). p has been Reset, so a Tabular
 // protocol's table and live state array are available; fused kernels
 // are selected here (per run, not per plan) because the protocol axis
-// is a Run argument, not a Compile one.
-func (pl *ExecPlan) newKernel(p Protocol, r *xrand.Rand) kernel {
+// is a Run argument, not a Compile one. The second return is the
+// dispatch label the flight recorder tallies runs under:
+// "<scheduler-engine>/<protocol-engine>", e.g. "dense-uniform/table".
+func (pl *ExecPlan) newKernel(p Protocol, r *xrand.Rand) (kernel, string) {
 	if tp := pl.fusable(p); tp != nil && len(tp.TableStates()) == pl.g.N() {
+		label := planModeNames[pl.mode] + "/table"
 		switch pl.mode {
 		case modeDenseUniform:
-			return newDenseTableKernel(pl.g.(*graph.Dense), pl.drop, tp)
+			return newDenseTableKernel(pl.g.(*graph.Dense), pl.drop, tp), label
 		case modeCliqueUniform:
-			return newCliqueTableKernel(pl.g.(graph.Clique), pl.drop, tp)
+			return newCliqueTableKernel(pl.g.(graph.Clique), pl.drop, tp), label
 		case modeWeighted:
-			return newWeightedTableKernel(pl.weighted, pl.drop, tp)
+			return newWeightedTableKernel(pl.weighted, pl.drop, tp), label
 		case modeNodeClock:
-			return newNodeClockTableKernel(pl.nodeClock, pl.drop, tp)
+			return newNodeClockTableKernel(pl.nodeClock, pl.drop, tp), label
 		}
 	}
+	label := planModeNames[pl.mode] + "/step"
 	switch pl.mode {
 	case modeDenseUniform:
-		return newDenseKernel(pl.g.(*graph.Dense), pl.drop)
+		return newDenseKernel(pl.g.(*graph.Dense), pl.drop), label
 	case modeCliqueUniform:
-		return newCliqueKernel(pl.g.(graph.Clique), pl.drop)
+		return newCliqueKernel(pl.g.(graph.Clique), pl.drop), label
 	case modeWeighted:
-		return newWeightedKernel(pl.weighted, pl.drop)
+		return newWeightedKernel(pl.weighted, pl.drop), label
 	case modeNodeClock:
-		return newNodeClockKernel(pl.nodeClock, pl.drop)
+		return newNodeClockKernel(pl.nodeClock, pl.drop), label
 	}
 	var src Source
 	switch {
@@ -223,7 +230,7 @@ func (pl *ExecPlan) newKernel(p Protocol, r *xrand.Rand) kernel {
 	default:
 		src = samplerSource{pl.g}
 	}
-	return &sourceKernel{src: src, drop: pl.drop}
+	return &sourceKernel{src: src, drop: pl.drop}, label
 }
 
 // Run resets p on the plan's graph and executes the compiled kernel in
@@ -231,10 +238,19 @@ func (pl *ExecPlan) newKernel(p Protocol, r *xrand.Rand) kernel {
 // cap is hit. Observer callbacks fire after the step closing each
 // observer interval, including a stabilizing step that lands on a
 // boundary — exactly the cadence of the step-at-a-time reference loop.
+//
+// Metering (Options.Meter) is pure bookkeeping on the control path:
+// chunk and observer tallies live in locals, kernel counters in kernel
+// fields, and everything is flushed to the meter in one batch per run,
+// after the result is decided. A run that panics flushes nothing, so an
+// aggregated meter counts exactly the steps of the runs that completed.
 func (pl *ExecPlan) Run(p Protocol, r *xrand.Rand) Result {
 	p.Reset(pl.g, r)
-	kern := pl.newKernel(p, r)
-	var t int64
+	if b, ok := pl.observer.(ProtocolBinder); ok {
+		b.Bind(p)
+	}
+	kern, label := pl.newKernel(p, r)
+	var t, chunks, observes int64
 	for t < pl.maxSteps {
 		k := pl.maxSteps - t
 		if k > rngBlockSize {
@@ -247,19 +263,38 @@ func (pl *ExecPlan) Run(p Protocol, r *xrand.Rand) Result {
 		}
 		done, stabilized := kern.run(p, r, t, k)
 		t += done
+		chunks++
 		if pl.observer != nil && t%pl.every == 0 {
 			// Fused kernels mutate protocol state behind Step's back;
 			// reconcile counters so the observer sees live Leaders/Stable.
 			kern.sync()
 			pl.observer.Observe(t)
+			observes++
 		}
 		if stabilized {
 			kern.finish(r)
 			kern.sync()
+			pl.flush(kern, label, t, chunks, observes)
 			return Result{Steps: t, Stabilized: true, Leader: FindLeader(pl.g, p)}
 		}
 	}
 	kern.finish(r)
 	kern.sync()
+	pl.flush(kern, label, t, chunks, observes)
 	return Result{Steps: pl.maxSteps, Stabilized: false, Leader: -1}
+}
+
+// flush hands a completed run's accounting to the meter and closes any
+// trajectory-style observer. Called after the kernel has rewound the
+// generator and reconciled protocol counters, so finishers read exact
+// terminal state; the Result the caller returns is already fixed, and
+// nothing here touches r.
+func (pl *ExecPlan) flush(kern kernel, label string, steps, chunks, observes int64) {
+	if f, ok := pl.observer.(RunFinisher); ok {
+		f.Finish(steps)
+	}
+	if pl.meter != nil {
+		refills, drops := kern.stats()
+		pl.meter.AddRun(steps, chunks, refills, drops, observes, label)
+	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"popgraph/internal/core"
 	"popgraph/internal/graph"
+	"popgraph/internal/telemetry"
 	"popgraph/internal/xrand"
 )
 
@@ -124,6 +125,24 @@ type Observer interface {
 	Observe(t int64)
 }
 
+// ProtocolBinder is an optional Observer extension: observers that need
+// the run's protocol instance (telemetry.Trajectory samples its leader
+// count) implement it and are handed the freshly Reset protocol before
+// the first step. Binding happens on the run's control path only — it
+// cannot consume randomness or alter step ordering.
+type ProtocolBinder interface {
+	Bind(p any)
+}
+
+// RunFinisher is an optional Observer extension: implementations are
+// called once after the run ends — after the kernel has rewound the
+// generator and reconciled protocol counters — with the final step
+// count, so curves can close with a terminal sample even when the run
+// ends off the observation grid.
+type RunFinisher interface {
+	Finish(steps int64)
+}
+
 // Options configures a run.
 type Options struct {
 	// MaxSteps caps the run; 0 means DefaultMaxSteps(n).
@@ -162,6 +181,16 @@ type Options struct {
 	// tests and cmd/bench use it to isolate the table-vs-interface
 	// speedup.
 	NoTable bool
+	// Meter, if non-nil, receives flight-recorder accounting — steps,
+	// chunks, RNG refills, drops, observer calls, kernel dispatch — once
+	// per run. Metering is invisible to the simulation: it never draws
+	// randomness or reorders steps, counters accumulate in kernel-local
+	// ints and are flushed in one batch after the run's result is
+	// decided, so results are byte-identical with Meter set or nil (the
+	// equivalence matrix asserts this). The same Meter may be shared by
+	// concurrent runs; the runner gives each worker a private shard
+	// instead to keep flushes contention-free.
+	Meter *telemetry.Counters
 }
 
 // DefaultMaxSteps returns the default step cap: generous enough for the

@@ -38,6 +38,7 @@ import (
 	"popgraph/internal/results"
 	"popgraph/internal/runner"
 	"popgraph/internal/sim"
+	"popgraph/internal/telemetry"
 	"popgraph/internal/xrand"
 )
 
@@ -252,6 +253,36 @@ func (s Spec) Build() ([]Task, error) {
 	return tasks, nil
 }
 
+// AttachTrajectories wires a telemetry.Trajectory observer into every
+// trial job that does not already carry an observer, and returns the
+// trajectories in grid order — trajectory i belongs to record i of a
+// subsequent Execute, with Trial set to that flat index. Jobs with their
+// own observer keep it and get a nil slot. Sampling rides the engine's
+// Observe cadence: jobs without an explicit ObserveEvery sample every
+// n steps (n = graph nodes), keeping observation cost O(steps/n) scans.
+// Observer boundaries never perturb the random stream, so attaching
+// trajectories leaves every record byte-identical.
+func AttachTrajectories(tasks []Task, maxSamples int) []*telemetry.Trajectory {
+	var out []*telemetry.Trajectory
+	for ti := range tasks {
+		t := &tasks[ti]
+		for ji := range t.Jobs {
+			j := &t.Jobs[ji]
+			if j.Opts.Observer != nil {
+				out = append(out, nil)
+				continue
+			}
+			tr := telemetry.NewTrajectory(len(out), maxSamples)
+			j.Opts.Observer = tr
+			if j.Opts.ObserveEvery <= 0 {
+				j.Opts.ObserveEvery = int64(t.Graph.N())
+			}
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
 // Trials returns the total number of trials across all tasks.
 func Trials(tasks []Task) int {
 	total := 0
@@ -289,6 +320,10 @@ func Execute(tasks []Task, pool runner.Pool) []results.Record {
 				Leader:     o.Result.Leader,
 				Backup:     o.Backup,
 				Error:      o.Err,
+				// Wall-time fields are the records' only host-dependent
+				// content; determinism comparisons normalize them out.
+				ElapsedNs:   o.ElapsedNs,
+				QueueWaitNs: o.QueueWaitNs,
 			})
 			i++
 		}

@@ -9,6 +9,7 @@ import (
 
 	"popgraph/internal/results"
 	"popgraph/internal/runner"
+	"popgraph/internal/telemetry"
 )
 
 func smokeSpec() Spec {
@@ -249,6 +250,12 @@ func TestExecuteByteIdenticalAcrossWorkerCounts(t *testing.T) {
 			t.Fatal(err)
 		}
 		recs := Execute(tasks, runner.Pool{Workers: workers})
+		// The two wall-time fields are the records' only host-dependent
+		// content; zero them so the comparison covers exactly the
+		// deterministic part of the log.
+		for i := range recs {
+			recs[i].ElapsedNs, recs[i].QueueWaitNs = 0, 0
+		}
 		var buf bytes.Buffer
 		if err := results.Write(&buf, recs); err != nil {
 			t.Fatal(err)
@@ -280,3 +287,110 @@ func TestExecuteByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		t.Fatalf("aggregated into %d groups, want %d", got, 6*5*2)
 	}
 }
+
+// TestExecuteMeterMatchesRecords is the flight recorder's accounting
+// identity: a pool-level meter's steps_executed equals the sum of the
+// per-trial steps in the results log, exactly, and the trial count
+// matches the grid.
+func TestExecuteMeterMatchesRecords(t *testing.T) {
+	s := Spec{
+		Seed:      9,
+		Trials:    3,
+		Graphs:    []string{"clique:N", "cycle:N"},
+		Sizes:     []int{8, 12},
+		Protocols: []string{"six-state"},
+		DropRates: []float64{0, 0.25},
+	}
+	tasks, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := new(telemetry.Counters)
+	recs := Execute(tasks, runner.Pool{Workers: 4, Meter: meter})
+	snap := meter.Snapshot()
+	var wantSteps int64
+	for _, r := range recs {
+		wantSteps += r.Steps
+	}
+	if snap.StepsExecuted != wantSteps {
+		t.Fatalf("meter steps %d, records sum %d", snap.StepsExecuted, wantSteps)
+	}
+	if int(snap.TrialsRun) != len(recs) {
+		t.Fatalf("meter trials %d, records %d", snap.TrialsRun, len(recs))
+	}
+	for _, r := range recs {
+		if r.ElapsedNs < 0 || r.QueueWaitNs < 0 {
+			t.Fatalf("negative timing in record %+v", r)
+		}
+	}
+}
+
+// TestAttachTrajectories: one trajectory per trial in grid order, each
+// closing with a terminal sample that agrees with the trial's record
+// (step count, and a single leader for stabilized trials) — and the
+// records themselves stay byte-identical to an unobserved run.
+func TestAttachTrajectories(t *testing.T) {
+	s := Spec{
+		Seed:      17,
+		Trials:    2,
+		Graphs:    []string{"clique:8", "cycle:12"},
+		Protocols: []string{"six-state"},
+	}
+	build := func() []Task {
+		tasks, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tasks
+	}
+	bare := Execute(build(), runner.Pool{Workers: 2})
+	tasks := build()
+	trajs := AttachTrajectories(tasks, 64)
+	if want := Trials(tasks); len(trajs) != want {
+		t.Fatalf("%d trajectories, want %d", len(trajs), want)
+	}
+	recs := Execute(tasks, runner.Pool{Workers: 2})
+	for i, r := range recs {
+		if r.Steps != bare[i].Steps || r.Leader != bare[i].Leader {
+			t.Fatalf("record %d diverged with trajectories attached: %+v vs %+v",
+				i, r, bare[i])
+		}
+		tr := trajs[i]
+		if tr == nil {
+			t.Fatalf("trajectory %d missing", i)
+		}
+		samples := tr.Samples()
+		if len(samples) == 0 {
+			t.Fatalf("trajectory %d empty", i)
+		}
+		last := samples[len(samples)-1]
+		if !last.Final || last.Trial != i || last.Step != r.Steps {
+			t.Fatalf("trajectory %d terminal sample %+v, record steps %d",
+				i, last, r.Steps)
+		}
+		if r.Stabilized && last.Leaders != 1 {
+			t.Fatalf("trajectory %d terminal leaders %d for stabilized trial",
+				i, last.Leaders)
+		}
+	}
+	// A job with its own observer is left alone: nil slot, observer kept.
+	tasks = build()
+	obs := &countingObserver{}
+	tasks[0].Jobs[0].Opts.Observer = obs
+	trajs = AttachTrajectories(tasks, 64)
+	if trajs[0] != nil {
+		t.Fatal("pre-observed job was reassigned a trajectory")
+	}
+	if tasks[0].Jobs[0].Opts.Observer != obs {
+		t.Fatal("pre-existing observer clobbered")
+	}
+	for i := 1; i < len(trajs); i++ {
+		if trajs[i] == nil {
+			t.Fatalf("trajectory %d missing", i)
+		}
+	}
+}
+
+type countingObserver struct{ n int }
+
+func (c *countingObserver) Observe(int64) { c.n++ }

@@ -1,0 +1,214 @@
+// Log-bucketed latency histograms. A Histogram is a fixed array of
+// power-of-two buckets with atomically updated counts, so any number of
+// workers can record into one instance without locks, and two snapshots
+// taken on different workers (or different shards of a sweep) merge by
+// plain bucket-wise addition — the merge of the parts is exactly the
+// histogram of the whole.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// histBuckets is the bucket count: bucket 0 holds non-positive values,
+// bucket i (1 <= i <= 63) holds values v with 2^(i-1) <= v < 2^i, so
+// every positive int64 lands in a bucket with ~2x resolution — plenty
+// for latency distributions spanning nanoseconds to hours.
+const histBuckets = 64
+
+// Histogram is a lock-free log-bucketed histogram of int64 samples
+// (typically nanoseconds). The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // stored as sample+1 so 0 means "no samples yet"
+	max    atomic.Int64
+}
+
+// bucketOf maps a sample to its bucket index: 0 for v <= 0, otherwise
+// 1 + floor(log2 v).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 0
+	for u := uint64(v); u != 0; u >>= 1 {
+		b++
+	}
+	return b
+}
+
+// bucketLo returns the inclusive lower bound of bucket i.
+func bucketLo(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// Observe records one sample. Safe for concurrent use.
+func (h *Histogram) Observe(v int64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	atomicMin(&h.min, v+1)
+	atomicMax(&h.max, v)
+}
+
+// atomicMin lowers a to v if v is smaller (treating 0 as "unset").
+func atomicMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur != 0 && cur <= v {
+			return
+		}
+		if a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// atomicMax raises a to v if v is larger.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur >= v {
+			return
+		}
+		if a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// HistBucket is one populated bucket of a histogram snapshot: Lo is the
+// bucket's inclusive lower bound (its exclusive upper bound is the next
+// bucket's Lo, i.e. 2*Lo for Lo > 0), Count the number of samples in it.
+type HistBucket struct {
+	Lo    int64 `json:"lo"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram: plain values,
+// mergeable and JSON-encodable. Only populated buckets are kept, in
+// ascending Lo order.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe
+// calls may straddle the copy; each sample is either fully in or fully
+// absent from the totals the caller compares (count vs buckets may skew
+// by in-flight samples — irrelevant for end-of-run snapshots, which are
+// taken after the workers quiesce).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if m := h.min.Load(); m != 0 {
+		s.Min = m - 1
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := h.counts[i].Load(); c != 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Lo: bucketLo(i), Count: c})
+		}
+	}
+	return s
+}
+
+// Merge returns the histogram of the combined sample: bucket-wise sums,
+// summed counts and totals, elementwise min/max. Merging with the zero
+// HistSnapshot is the identity, so shards with no samples merge away.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Max:   s.Max,
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	switch {
+	case s.Count == 0:
+		out.Min = o.Min
+	case o.Count == 0:
+		out.Min = s.Min
+	default:
+		out.Min = s.Min
+		if o.Min < out.Min {
+			out.Min = o.Min
+		}
+	}
+	var merged [histBuckets]int64
+	for _, b := range s.Buckets {
+		merged[bucketOf(b.Lo)] += b.Count
+	}
+	for _, b := range o.Buckets {
+		merged[bucketOf(b.Lo)] += b.Count
+	}
+	for i, c := range merged {
+		if c != 0 {
+			out.Buckets = append(out.Buckets, HistBucket{Lo: bucketLo(i), Count: c})
+		}
+	}
+	return out
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the buckets: the
+// geometric midpoint of the bucket holding the q-th sample, clamped to
+// the observed min/max. Log buckets bound the relative error by 2x,
+// which is the right fidelity for "where does the time go" questions.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(s.Min)
+	}
+	if q >= 1 {
+		return float64(s.Max)
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			lo := float64(b.Lo)
+			hi := 2 * lo
+			if b.Lo == 0 {
+				return clampQ(0, s)
+			}
+			return clampQ(math.Sqrt(lo*hi), s)
+		}
+	}
+	return float64(s.Max)
+}
+
+func clampQ(v float64, s HistSnapshot) float64 {
+	if v < float64(s.Min) {
+		return float64(s.Min)
+	}
+	if v > float64(s.Max) {
+		return float64(s.Max)
+	}
+	return v
+}
