@@ -6,7 +6,7 @@ import (
 	"popgraph"
 )
 
-// Elect a leader on a cycle with the constant-state protocol.
+// Example elects a leader on a cycle with the constant-state protocol.
 func Example() {
 	r := popgraph.NewRand(1)
 	g := popgraph.Cycle(16)
@@ -16,8 +16,9 @@ func Example() {
 	// stabilized: true single leader: true
 }
 
-// The fast space-efficient protocol needs the graph's broadcast time;
-// NewFastFor estimates it and picks the Theorem 24 parameters.
+// ExampleNewFastFor sizes the fast space-efficient protocol for a
+// graph: NewFastFor estimates its broadcast time and picks the
+// Theorem 24 parameters.
 func ExampleNewFastFor() {
 	r := popgraph.NewRand(2)
 	g := popgraph.Clique(64)
@@ -28,7 +29,8 @@ func ExampleNewFastFor() {
 	// stabilized: true states: true
 }
 
-// Graphs can be described by compact spec strings (used by the CLIs).
+// ExampleParseGraph builds graphs from the compact spec strings the
+// CLIs use.
 func ExampleParseGraph() {
 	r := popgraph.NewRand(3)
 	g, err := popgraph.ParseGraph("torus:4x5", r)
@@ -40,8 +42,8 @@ func ExampleParseGraph() {
 	// torus-4x5 20 40
 }
 
-// The star protocol stabilizes in exactly one interaction on stars —
-// the Table 1 "Stars" row.
+// ExampleNewStarProtocol shows the star protocol stabilizing in
+// exactly one interaction on stars — the Table 1 "Stars" row.
 func ExampleNewStarProtocol() {
 	r := popgraph.NewRand(4)
 	res := popgraph.Run(popgraph.Star(1000), popgraph.NewStarProtocol(), r, popgraph.Options{})
@@ -50,11 +52,11 @@ func ExampleNewStarProtocol() {
 	// steps: 1
 }
 
-// Compile exposes the execution plan a run would use: the scheduler
-// kernel for the graph shape and, per protocol, the dispatch — a
-// constant-state (Tabular) protocol like the six-state baseline fuses
-// into a transition-table kernel with no interface calls in the hot
-// loop. RunE is the error-returning way to execute the same plan.
+// ExampleCompile exposes the execution plan a run would use: the
+// scheduler kernel for the graph shape and, per protocol, the dispatch
+// — a constant-state (Tabular) protocol like the six-state baseline
+// fuses into a transition-table kernel with no interface calls in the
+// hot loop. RunE is the error-returning way to execute the same plan.
 func ExampleCompile() {
 	r := popgraph.NewRand(6)
 	g := popgraph.Torus(8, 8)
@@ -74,8 +76,9 @@ func ExampleCompile() {
 	// stabilized: true leaders: 1
 }
 
-// Exact majority is the extension module suggested by the paper's
-// conclusions: same token random-walk techniques, different problem.
+// ExampleRunMajority runs exact majority, the extension module the
+// paper's conclusions suggest: same token random-walk techniques,
+// different problem.
 func ExampleRunMajority() {
 	r := popgraph.NewRand(5)
 	inputs := make([]bool, 21)

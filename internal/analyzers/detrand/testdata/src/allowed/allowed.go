@@ -1,0 +1,16 @@
+// Package allowed exercises the file-level allowlist: the whole file
+// opts out of detrand, as the telemetry/timing files inside contract
+// packages do. The test loads it at a contract path, so without the
+// directive every call below would be a finding.
+//
+//popcheck:allow detrand this file is a timing shim, wall-clock reads are its job
+package allowed
+
+import "time"
+
+// Stamp legally reads the wall clock: the file carries
+// popcheck:allow detrand.
+func Stamp() time.Time { return time.Now() }
+
+// Wait legally sleeps for the same reason.
+func Wait(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,38 @@
+// Package contract exercises detrand inside a determinism-contract
+// path (the test loads it as popgraph/internal/sim/detrandcontract).
+package contract
+
+import (
+	crand "crypto/rand" // want `detrand: import of crypto/rand`
+	"math/rand"         // want `detrand: import of math/rand`
+	"time"
+)
+
+// Elapsed reads the wall clock twice over f: both reads are flagged.
+func Elapsed(f func()) time.Duration {
+	start := time.Now() // want `detrand: call to time\.Now`
+	f()
+	return time.Since(start) // want `detrand: call to time\.Since`
+}
+
+// GlobalDraw uses the process-global generator; the import is the
+// finding (any use of the package follows from it).
+func GlobalDraw(n int) int { return rand.Intn(n) }
+
+// OSDraw reads OS randomness through crypto/rand; the import is the
+// finding, not this call.
+func OSDraw(b []byte) { _, _ = crand.Read(b) }
+
+// DurationMath uses only time's pure arithmetic: legal.
+func DurationMath(d time.Duration) time.Duration { return 2 * d }
+
+// Suppressed shows the line-level escape hatch with a named analyzer.
+func Suppressed() time.Time {
+	return time.Now() //popcheck:ignore detrand intentional: example of a sanctioned timing site
+}
+
+// Timers are flagged like clock reads.
+func Timers() {
+	time.Sleep(0)              // want `detrand: call to time\.Sleep`
+	_ = time.Tick(time.Second) // want `detrand: call to time\.Tick`
+}

@@ -1,0 +1,13 @@
+// Package outofscope exercises the scope boundary: it is loaded at a
+// non-contract path (popgraph/internal/telemetry/...), where wall
+// clocks and even math/rand are not detrand's business.
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sample may use anything here: the package is outside the
+// determinism-contract surface.
+func Sample() (time.Time, int) { return time.Now(), rand.Int() }

@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"popgraph/internal/analyzers/analyzertest"
+	"popgraph/internal/analyzers/hotpath"
+)
+
+func TestKernelPurity(t *testing.T) {
+	analyzertest.Run(t, hotpath.Analyzer, "testdata/src/hotpath",
+		"popgraph/internal/sim/hotpathtest")
+}

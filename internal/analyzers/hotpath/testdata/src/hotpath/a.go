@@ -1,0 +1,70 @@
+// Package hotpath exercises the hotpath analyzer: marked kernels must
+// stay allocation- and dispatch-free, unmarked functions may do
+// anything.
+package hotpath
+
+import "fmt"
+
+// stepper mimics the engine's protocol seam.
+type stepper interface {
+	Step(u, v int)
+	Stable() bool
+}
+
+// machine holds a stored interface — dispatch through it from a kernel
+// is a regression.
+type machine struct {
+	p      stepper
+	buf    []uint64
+	cursor int
+}
+
+// goodKernel is dispatch-free except through its parameter: clean.
+//
+//popcheck:kernel
+func (m *machine) goodKernel(p stepper, k int) (int, bool) {
+	for i := 0; i < k; i++ {
+		x := m.buf[m.cursor]
+		m.cursor++
+		p.Step(int(x>>32), int(x&0xffffffff))
+		if p.Stable() {
+			return i, true
+		}
+	}
+	return k, false
+}
+
+// badKernel commits every sin the analyzer knows.
+//
+//popcheck:kernel
+func (m *machine) badKernel(k int) int {
+	defer func() {}()        // want `hotpath: defer inside kernel badKernel` `hotpath: closure inside kernel badKernel`
+	out := make([]int, 0, k) // want `hotpath: make inside kernel badKernel`
+	for i := 0; i < k; i++ {
+		m.p.Step(i, i+1)     // want `hotpath: interface method call m\.p\.Step inside kernel badKernel`
+		out = append(out, i) // want `hotpath: append inside kernel badKernel`
+		fmt.Println(i)       // want `hotpath: fmt\.Println inside kernel badKernel`
+	}
+	_ = machine{} // want `hotpath: composite literal allocation inside kernel badKernel`
+	return len(out)
+}
+
+// fallbackKernel documents a known-slow path with the escape hatch.
+//
+//popcheck:kernel
+func (m *machine) fallbackKernel(k int) {
+	for i := 0; i < k; i++ {
+		m.p.Step(i, i) //popcheck:ignore hotpath non-CSR fallback, measured and accepted
+	}
+}
+
+// notAKernel has no marker: nothing here is the analyzer's business.
+func (m *machine) notAKernel(k int) []int {
+	defer fmt.Println("done")
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		m.p.Step(i, i+1)
+		out = append(out, i)
+	}
+	return out
+}

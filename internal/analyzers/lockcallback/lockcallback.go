@@ -1,0 +1,225 @@
+// Package lockcallback flags invoking a stored callback — a variable or
+// struct field of function type — while a sync.Mutex or sync.RWMutex is
+// held. A callback is arbitrary user code: under a lock it can block
+// every other critical section, re-enter the lock, or simply be slow —
+// the exact bug class behind the runner.Pool Progress stall fixed in
+// PR 6 (a slow Progress callback serialized trial completion because it
+// ran with the pool's mutex held). Callbacks belong outside the
+// critical section, fed by state captured inside it.
+//
+// Detection is intra-procedural and block-structured: a region is "held"
+// from a mu.Lock()/mu.RLock() statement to the matching
+// mu.Unlock()/mu.RUnlock() in the same statement list, or to the end of
+// the enclosing block when the unlock is deferred. Conditional unlocks
+// in nested blocks are deliberately ignored (conservative: the region
+// stays held). Method calls and ordinary function calls are fine; only
+// calls whose callee is a func-typed variable, parameter or field are
+// flagged.
+package lockcallback
+
+import (
+	"go/ast"
+	"go/types"
+
+	"popgraph/internal/analyzers"
+)
+
+// Analyzer is the lockcallback pass.
+var Analyzer = &analyzers.Analyzer{
+	Name: "lockcallback",
+	Doc:  "flag stored callbacks (func-typed variables and fields) invoked while a sync mutex is held",
+	Run:  run,
+}
+
+func run(pass *analyzers.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkBlock(pass, fn.Body.List, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// lockCall decomposes a statement of the form `x.Lock()`, `x.RLock()`,
+// `x.Unlock()` or `x.RUnlock()` on a sync (RW)Mutex-typed receiver,
+// returning the receiver's printed form as the lock identity.
+func lockCall(pass *analyzers.Pass, stmt ast.Stmt) (recv, method string, ok bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", "", false
+	}
+	return lockCallExpr(pass, es.X)
+}
+
+func lockCallExpr(pass *analyzers.Pass, e ast.Expr) (recv, method string, ok bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !isSyncMutex(pass.TypesInfo.Types[sel.X].Type) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// isSyncMutex reports whether t (possibly a pointer) is sync.Mutex or
+// sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkBlock scans a statement list. held carries the lock identities
+// currently held when entering the list; Lock statements extend it,
+// matching Unlock statements retire it, and every statement executed
+// while held is inspected for stored-callback calls.
+func checkBlock(pass *analyzers.Pass, stmts []ast.Stmt, held []string) {
+	held = append([]string(nil), held...)
+	for _, stmt := range stmts {
+		if recv, method, ok := lockCall(pass, stmt); ok {
+			switch method {
+			case "Lock", "RLock":
+				held = append(held, recv)
+			case "Unlock", "RUnlock":
+				held = remove(held, recv)
+			}
+			continue
+		}
+		if def, ok := stmt.(*ast.DeferStmt); ok {
+			// `defer mu.Unlock()` right after Lock is the idiomatic pairing:
+			// the lock stays held for the remainder of this block, which the
+			// loop below already models by keeping recv in held.
+			if _, method, ok := lockCallExpr(pass, def.Call); ok && (method == "Unlock" || method == "RUnlock") {
+				continue
+			}
+		}
+		if len(held) == 0 {
+			// Recurse only to find nested Lock regions.
+			for _, inner := range innerBlocks(stmt) {
+				checkBlock(pass, inner, nil)
+			}
+			continue
+		}
+		flagCallbackCalls(pass, stmt, held)
+	}
+}
+
+// innerBlocks returns the statement lists nested directly inside stmt.
+func innerBlocks(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, innerBlocks(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, innerBlocks(s.Stmt)...)
+	}
+	return out
+}
+
+// flagCallbackCalls reports every call of a func-typed variable or
+// field anywhere inside stmt. Function literals are still scanned: a
+// closure defined in a held region typically runs there too (and if it
+// does not, a line-level ignore documents why).
+func flagCallbackCalls(pass *analyzers.Pass, stmt ast.Stmt, held []string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isStoredFunc(pass, call.Fun) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"callback %s invoked while %s is held (run callbacks outside the critical section; cf. runner.Pool.Progress)",
+			types.ExprString(call.Fun), held[len(held)-1])
+		return true
+	})
+}
+
+// isStoredFunc reports whether e names a func-typed variable, parameter
+// or struct field (as opposed to a declared function, method, builtin
+// or conversion).
+func isStoredFunc(pass *analyzers.Pass, e ast.Expr) bool {
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			if sel.Kind() != types.FieldVal {
+				return false
+			}
+			obj = sel.Obj()
+		} else {
+			obj = pass.TypesInfo.Uses[e.Sel]
+		}
+	default:
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	_, isSig := v.Type().Underlying().(*types.Signature)
+	return isSig
+}
+
+func remove(held []string, recv string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == recv {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}

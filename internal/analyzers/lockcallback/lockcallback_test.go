@@ -1,0 +1,13 @@
+package lockcallback_test
+
+import (
+	"testing"
+
+	"popgraph/internal/analyzers/analyzertest"
+	"popgraph/internal/analyzers/lockcallback"
+)
+
+func TestCallbacksUnderLock(t *testing.T) {
+	analyzertest.Run(t, lockcallback.Analyzer, "testdata/src/lockcallback",
+		"popgraph/internal/runner/lockcallbacktest")
+}

@@ -1,0 +1,69 @@
+// Package lockcallback exercises the lockcallback analyzer: stored
+// callbacks must run outside mutex critical sections.
+package lockcallback
+
+import "sync"
+
+// pool mimics the runner.Pool shape that motivated the pass.
+type pool struct {
+	mu       sync.Mutex
+	rw       sync.RWMutex
+	done     int
+	progress func(done int)
+}
+
+func helper(int) {}
+
+// badUnderLock fires the callback between Lock and Unlock: flagged.
+func (p *pool) badUnderLock() {
+	p.mu.Lock()
+	p.done++
+	p.progress(p.done) // want `lockcallback: callback p\.progress invoked while p\.mu is held`
+	p.mu.Unlock()
+}
+
+// badUnderDefer holds the lock for the whole body: flagged.
+func (p *pool) badUnderDefer(notify func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	notify() // want `lockcallback: callback notify invoked while p\.mu is held`
+}
+
+// badUnderRLock read locks are critical sections too: flagged.
+func (p *pool) badUnderRLock() int {
+	p.rw.RLock()
+	defer p.rw.RUnlock()
+	p.progress(p.done) // want `lockcallback: callback p\.progress invoked while p\.rw is held`
+	return p.done
+}
+
+// goodAfterUnlock snapshots under the lock and calls outside: clean.
+func (p *pool) goodAfterUnlock() {
+	p.mu.Lock()
+	p.done++
+	done := p.done
+	cb := p.progress
+	p.mu.Unlock()
+	if cb != nil {
+		cb(done)
+	}
+}
+
+// goodPlainCalls shows what is not a stored callback: declared
+// functions and methods may run under the lock.
+func (p *pool) goodPlainCalls() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	helper(p.done)
+	p.bump()
+}
+
+func (p *pool) bump() { p.done++ }
+
+// suppressed documents a deliberate under-lock call.
+func (p *pool) suppressed() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.progress(p.done) //popcheck:ignore lockcallback callback is a no-alloc counter bump by contract
+}

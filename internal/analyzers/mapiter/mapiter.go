@@ -1,0 +1,170 @@
+// Package mapiter flags iteration over a map whose loop body has
+// order-dependent effects. Go randomizes map iteration order per run,
+// so a map range that appends to a slice, writes output, or sends on a
+// channel produces a different sequence every execution — the exact
+// bug class the byte-identical results contract (fixed field order,
+// grid-order records) exists to rule out.
+//
+// The sanctioned pattern — collect the keys, sort them, iterate the
+// sorted slice — is recognized and not flagged: a body consisting only
+// of appending the range key to a slice is exempt when that slice is
+// later passed to a sort function (sort.Strings, sort.Ints,
+// sort.Float64s, sort.Slice, sort.SliceStable, slices.Sort*) in the
+// same function.
+//
+// Order-insensitive bodies (counting, merging into another map,
+// accumulating into an index-addressed structure) are not flagged.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"popgraph/internal/analyzers"
+)
+
+// Analyzer is the mapiter pass.
+var Analyzer = &analyzers.Analyzer{
+	Name: "mapiter",
+	Doc: "flag range-over-map loops with order-dependent effects (append, output, channel send) " +
+		"that lack a sorted-keys pass",
+	Run: run,
+}
+
+// outputCallNames are method/function names whose invocation emits
+// ordered output.
+var outputCallNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "AddRow": true,
+}
+
+// sortCallSites records which identifiers are passed to a sort function
+// somewhere in a given function body.
+type sortCallSites map[types.Object]bool
+
+func run(pass *analyzers.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sorted := collectSortTargets(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, rng, sorted)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectSortTargets finds every identifier passed as the first
+// argument to a sort.* / slices.Sort* call inside body.
+func collectSortTargets(pass *analyzers.Pass, body *ast.BlockStmt) sortCallSites {
+	sorted := make(sortCallSites)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		path, name := pass.PkgFuncCall(call)
+		isSort := path == "sort" && (name == "Strings" || name == "Ints" ||
+			name == "Float64s" || name == "Slice" || name == "SliceStable")
+		isSlices := path == "slices" && (name == "Sort" || name == "SortFunc" ||
+			name == "SortStableFunc")
+		if !isSort && !isSlices {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// checkMapRange reports the range statement when its body has an
+// order-dependent effect and is not the key-collection idiom.
+func checkMapRange(pass *analyzers.Pass, rng *ast.RangeStmt, sorted sortCallSites) {
+	if isSortedKeyCollection(pass, rng, sorted) {
+		return
+	}
+	var reported bool
+	report := func(pos ast.Node, what string) {
+		if reported {
+			return
+		}
+		reported = true
+		pass.Reportf(rng.Pos(),
+			"range over map has order-dependent effect (%s at line %d); iterate sorted keys instead",
+			what, pass.Fset.Position(pos.Pos()).Line)
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					report(n, "append")
+				}
+				return true
+			}
+			if path, name := pass.PkgFuncCall(n); path == "fmt" && outputCallNames[name] {
+				report(n, "fmt."+name)
+			} else if sel, ok := n.Fun.(*ast.SelectorExpr); ok && outputCallNames[sel.Sel.Name] {
+				report(n, sel.Sel.Name+" call")
+			}
+		case *ast.SendStmt:
+			report(n, "channel send")
+		}
+		return true
+	})
+}
+
+// isSortedKeyCollection recognizes the sanctioned idiom: the body is
+// exactly `keys = append(keys, k)` (the range key, possibly through one
+// conversion or call wrap) and keys is sorted later in the function.
+func isSortedKeyCollection(pass *analyzers.Pass, rng *ast.RangeStmt, sorted sortCallSites) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	target, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[target]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[target]
+	}
+	return obj != nil && sorted[obj]
+}

@@ -1,0 +1,13 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"popgraph/internal/analyzers/analyzertest"
+	"popgraph/internal/analyzers/mapiter"
+)
+
+func TestMapIterationEffects(t *testing.T) {
+	analyzertest.Run(t, mapiter.Analyzer, "testdata/src/mapiter",
+		"popgraph/internal/results/mapitertest")
+}

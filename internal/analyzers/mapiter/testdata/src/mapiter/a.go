@@ -1,0 +1,82 @@
+// Package mapiter exercises the mapiter analyzer: order-dependent map
+// ranges are flagged, the sorted-keys idiom and order-insensitive
+// bodies are not.
+package mapiter
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// AppendValues leaks map order into a slice: flagged.
+func AppendValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `mapiter: range over map has order-dependent effect \(append`
+		out = append(out, v)
+	}
+	return out
+}
+
+// PrintEntries leaks map order into output: flagged.
+func PrintEntries(m map[string]int) {
+	for k, v := range m { // want `mapiter: range over map has order-dependent effect \(fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// WriteEntries leaks map order through an io.Writer method: flagged.
+func WriteEntries(w io.Writer, m map[string]int) {
+	for k := range m { // want `mapiter: range over map has order-dependent effect \(Write call`
+		_, _ = w.Write([]byte(k))
+	}
+}
+
+// SendKeys leaks map order into a channel: flagged.
+func SendKeys(m map[string]bool, ch chan string) {
+	for k := range m { // want `mapiter: range over map has order-dependent effect \(channel send`
+		ch <- k
+	}
+}
+
+// SortedKeys is the sanctioned pattern: collect, sort, then iterate the
+// slice. Neither loop is flagged.
+func SortedKeys(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// MergeCounts is order-insensitive (commutative map writes): clean.
+func MergeCounts(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// SumValues is order-insensitive (commutative accumulation): clean.
+func SumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Ignored shows the line-level suppression syntax.
+func Ignored(m map[string]int) []int {
+	var out []int
+	//popcheck:ignore mapiter order deliberately irrelevant downstream
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"popgraph/internal/analyzers/analyzertest"
+	"popgraph/internal/analyzers/seedflow"
+)
+
+func TestSeedDerivation(t *testing.T) {
+	analyzertest.Run(t, seedflow.Analyzer, "testdata/src/seedflow",
+		"popgraph/internal/exp/seedflowtest")
+}
+
+func TestExamplesExempt(t *testing.T) {
+	analyzertest.Run(t, seedflow.Analyzer, "testdata/src/examples_scope",
+		"popgraph/examples/seedflowdemo")
+}

@@ -1,0 +1,10 @@
+// Package examplescope is loaded at an examples/ path, where seedflow
+// does not apply: the constant seed below must not be flagged.
+package examplescope
+
+import "popgraph/internal/xrand"
+
+// DemoStream is demo code: a fixed seed keeps the README output stable.
+func DemoStream() uint64 {
+	return xrand.New(1).Uint64()
+}

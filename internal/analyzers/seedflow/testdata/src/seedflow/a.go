@@ -1,0 +1,47 @@
+// Package seedflow exercises the seedflow analyzer against the real
+// xrand and runner packages.
+package seedflow
+
+import (
+	"popgraph/internal/runner"
+	"popgraph/internal/xrand"
+)
+
+// hardWired shares one stream between every caller: flagged.
+func hardWired() *xrand.Rand {
+	return xrand.New(42) // want `seedflow: xrand\.New with constant seed 42`
+}
+
+// adHocTrialSeeds reinvents seed derivation with loop arithmetic:
+// flagged on both shapes.
+func adHocTrialSeeds(base uint64, trials int) []uint64 {
+	out := make([]uint64, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		rng := xrand.New(base + uint64(trial)*977) // want `seedflow: xrand\.New seed mixes loop variable trial`
+		out = append(out, rng.Uint64())
+	}
+	for i, b := range out {
+		rng := xrand.New(b ^ uint64(i)) // want `seedflow: xrand\.New seed mixes loop variable b`
+		out[i] = rng.Uint64()
+	}
+	return out
+}
+
+// sanctioned shows every accepted shape: helper-derived seeds, plain
+// variables, and loop-free arithmetic on non-constant inputs.
+func sanctioned(base uint64, trials int) []uint64 {
+	out := make([]uint64, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		rng := xrand.New(runner.SeedFor(base, trial))
+		out = append(out, rng.Uint64())
+	}
+	seed := runner.SeedFor(base, trials)
+	rng := xrand.New(seed)
+	rng2 := xrand.New(base ^ 0x9e3779b97f4a7c15)
+	return append(out, rng.Uint64(), rng2.Uint64())
+}
+
+// suppressed documents a deliberate fixed stream.
+func suppressed() *xrand.Rand {
+	return xrand.New(7) //popcheck:ignore seedflow probe RNG, output unused
+}

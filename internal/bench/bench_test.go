@@ -66,7 +66,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	}
 }
 
-// TestRunSchedulerCells: scheduler and drop cells compile to their
+// TestRunSchedulerCells — scheduler and drop cells compile to their
 // specialized kernels (churn stays generic), both timings cover the
 // identical step count, and every cell records the engine its plan
 // picked.
@@ -111,7 +111,7 @@ func TestRunSchedulerCells(t *testing.T) {
 	}
 }
 
-// TestRunProtocolEngineCells: the protocol-compilation axis. Tabular
+// TestRunProtocolEngineCells — the protocol-compilation axis. Tabular
 // protocols record protocol_engine "table" with a real table-vs-
 // interface timing over identical work; non-tabular protocols record
 // "step" with the interface stats copied and table speedup exactly 1.
@@ -156,7 +156,7 @@ func TestRunProtocolEngineCells(t *testing.T) {
 	}
 }
 
-// TestDeltaTable: the per-cell -compare rendering classifies matched,
+// TestDeltaTable — the per-cell -compare rendering classifies matched,
 // regressed, new and removed cells and the markdown writer names them.
 func TestDeltaTable(t *testing.T) {
 	cell := func(graph, proto string, ns float64) Measurement {

@@ -21,6 +21,7 @@
 // Each table cell carries the (Δleaders, Δgap) of its transition, so
 // Leaders() and Stable() stay O(1) while the kernel never calls out of
 // its loop. Tests cross-check both counters against full state scans.
+
 package core
 
 import "fmt"

@@ -30,7 +30,7 @@ func sixStateTable(t *testing.T) *TransitionTable {
 	return tab
 }
 
-// TestTableMatchesTokenTransition: every cell decodes back to exactly
+// TestTableMatchesTokenTransition — every cell decodes back to exactly
 // what TokenTransition produces, and Apply's in-place update plus delta
 // return agree with recomputing counters from scratch.
 func TestTableMatchesTokenTransition(t *testing.T) {
@@ -63,7 +63,7 @@ func TestTableMatchesTokenTransition(t *testing.T) {
 	}
 }
 
-// TestTableCountersMatchTokenCounts: on random-ish configurations the
+// TestTableCountersMatchTokenCounts — on random-ish configurations the
 // table's scan counters agree with the semantic TokenCounts — leaders
 // with Candidates, gap == 0 with Stable().
 func TestTableCountersMatchTokenCounts(t *testing.T) {
@@ -89,7 +89,7 @@ func TestTableCountersMatchTokenCounts(t *testing.T) {
 	}
 }
 
-// TestTableBuilderValidation: the compiler rejects malformed machines
+// TestTableBuilderValidation — the compiler rejects malformed machines
 // with errors naming the problem.
 func TestTableBuilderValidation(t *testing.T) {
 	identity := func(a, b uint8) (uint8, uint8) { return a, b }

@@ -51,7 +51,7 @@ func TestBroadcastWithinTheorem6Bounds(t *testing.T) {
 	}
 }
 
-// TestCliqueBroadcastShape: on K_n the epidemic is the push-pull coupon
+// TestCliqueBroadcastShape — on K_n the epidemic is the push-pull coupon
 // process; E[T] = Σ_i 2m/(i(n−i))·... ≈ n·ln(n)·(1+o(1)) since each step
 // informs with probability i(n−i)/m. Closed form: E[T] = m·Σ 1/(i(n−i)).
 func TestCliqueBroadcastShape(t *testing.T) {
@@ -97,7 +97,7 @@ func TestPropagationFromMonotone(t *testing.T) {
 	}
 }
 
-// TestLemma14PropagationLowerBound: Pr[T_k(G) < km/(Δe³)] <= 1/n for
+// TestLemma14PropagationLowerBound — Pr[T_k(G) < km/(Δe³)] <= 1/n for
 // k >= ln n. On a cycle with k = n/2 the threshold is comfortably below
 // the measured times.
 func TestLemma14PropagationLowerBound(t *testing.T) {

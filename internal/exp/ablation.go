@@ -96,7 +96,7 @@ func init() {
 				m := MeasureSteps(g, func() sim.Protocol { return idelect.NewWithFactor(factor) },
 					cfg.Seed+79, nTrials, 0)
 				probe := idelect.NewWithFactor(factor)
-				probe.Reset(g, xrand.New(1))
+				probe.Reset(g, xrand.New(1)) //popcheck:ignore seedflow probe only reports K/StateCount, RNG never sampled
 				t.AddRow(factor, probe.K(), probe.StateCount(g.N()),
 					m.Steps.Mean, m.Steps.CI95(), fmt.Sprintf("%d/%d", m.Stabilized, m.Trials))
 			}

@@ -15,6 +15,7 @@ import (
 	"popgraph/internal/protocols/beauquier"
 	"popgraph/internal/protocols/idelect"
 	"popgraph/internal/renitent"
+	"popgraph/internal/runner"
 	"popgraph/internal/sim"
 	"popgraph/internal/stats"
 	"popgraph/internal/table"
@@ -36,7 +37,7 @@ func init() {
 				var k uint
 				for trial := 0; trial < nTrials; trial++ {
 					p := idelect.NewRegular()
-					r := xrand.New(cfg.Seed + uint64(trial)*977 + uint64(n))
+					r := xrand.New(runner.SeedFor(cfg.Seed+uint64(n), trial))
 					p.Reset(g, r)
 					// Run until every node either finished generating or
 					// adopted a finished identifier.

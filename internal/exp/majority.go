@@ -13,6 +13,7 @@ import (
 
 	"popgraph/internal/graph"
 	"popgraph/internal/protocols/majority"
+	"popgraph/internal/runner"
 	"popgraph/internal/sim"
 	"popgraph/internal/stats"
 	"popgraph/internal/table"
@@ -43,7 +44,7 @@ func init() {
 								in[j] = true
 							}
 							p := majority.New(in)
-							r := xrand.New(cfg.Seed + uint64(i)*1009 + uint64(n))
+							r := xrand.New(runner.SeedFor(cfg.Seed+uint64(n), i))
 							res := sim.Run(g, p, r, sim.Options{})
 							if !res.Stabilized {
 								return fmt.Errorf("majority did not stabilize on %s", g.Name())

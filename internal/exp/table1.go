@@ -301,7 +301,8 @@ func init() {
 				fp := fastelect.New(fastelect.TunedParams(g, b))
 				id := idelect.New()
 				log2n := math.Log2(float64(n))
-				n4 := math.Pow(float64(n), 4)
+				n2 := float64(n) * float64(n)
+				n4 := n2 * n2
 				t.AddRow(n,
 					beauquier.New().StateCount(n),
 					id.StateCount(n), id.StateCount(n)/(12*n4),

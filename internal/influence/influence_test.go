@@ -75,7 +75,7 @@ func TestReverseInternalCounting(t *testing.T) {
 	}
 }
 
-// TestLemma41InfluencerGrowth: on a dense random graph, |I_t(v)| stays
+// TestLemma41InfluencerGrowth — on a dense random graph, |I_t(v)| stays
 // below n^ε for t = c·n·log n with small c, with high probability.
 func TestLemma41InfluencerGrowth(t *testing.T) {
 	r := xrand.New(7)
@@ -100,7 +100,7 @@ func TestLemma41InfluencerGrowth(t *testing.T) {
 	}
 }
 
-// TestLemma44FewInternalInteractions: before c·n·log n steps the reverse
+// TestLemma44FewInternalInteractions — before c·n·log n steps the reverse
 // multigraph has O(log n) internal interactions.
 func TestLemma44FewInternalInteractions(t *testing.T) {
 	r := xrand.New(9)
@@ -132,7 +132,7 @@ func TestForwardInfluenceMonotone(t *testing.T) {
 	}
 }
 
-// TestLemma42NonInteracted: for t = c·n·log n with small c, at least
+// TestLemma42NonInteracted — for t = c·n·log n with small c, at least
 // N^{1−ε} nodes have not interacted, w.h.p.
 func TestLemma42NonInteracted(t *testing.T) {
 	r := xrand.New(13)
@@ -165,7 +165,7 @@ func TestNonInteractedInSet(t *testing.T) {
 	}
 }
 
-// TestLemma48FullyDense: the six-state protocol on a dense random graph
+// TestLemma48FullyDense — the six-state protocol on a dense random graph
 // passes through a configuration where every producible state has density
 // >= alpha for some constant alpha, within O(n) steps.
 func TestLemma48FullyDense(t *testing.T) {

@@ -1,7 +1,9 @@
 package modelcheck
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"popgraph/internal/core"
@@ -157,7 +159,7 @@ func majorityMachine() Machine {
 	}
 }
 
-// TestMajorityMachineExhaustive: the strong difference is conserved on
+// TestMajorityMachineExhaustive — the strong difference is conserved on
 // every reachable configuration, the stability predicate is exact, and
 // all stable configurations are unanimous for the initial majority.
 func TestMajorityMachineExhaustive(t *testing.T) {
@@ -217,7 +219,7 @@ func TestCheckRejectsBadInput(t *testing.T) {
 	}
 }
 
-// TestCheckDetectsBrokenPredicate: a machine whose stability predicate
+// TestCheckDetectsBrokenPredicate — a machine whose stability predicate
 // lies must be caught.
 func TestCheckDetectsBrokenPredicate(t *testing.T) {
 	m := tokenMachine()
@@ -229,7 +231,52 @@ func TestCheckDetectsBrokenPredicate(t *testing.T) {
 	}
 }
 
-// TestCheckDetectsLivelock: a machine that can wander away from
+// TestCheckPropagatesInvariantError — an invariant violation anywhere
+// in the reachable space must abort the check, wrapped with enough
+// context to name the machine.
+func TestCheckPropagatesInvariantError(t *testing.T) {
+	g := graph.Path(2)
+	initial := []byte{byte(core.CandidateBlack), byte(core.CandidateBlack)}
+	sentinel := errors.New("boom")
+	calls := 0
+	invariant := func(cfg []byte) error {
+		calls++
+		if calls > 1 {
+			return sentinel
+		}
+		return nil
+	}
+	_, err := Check(g, tokenMachine(), initial, invariant)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("invariant error not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "six-state-token") || !strings.Contains(err.Error(), "invariant") {
+		t.Fatalf("error %q lacks machine name or invariant context", err)
+	}
+}
+
+// TestCheckDetectsStableButIncorrect — a machine that stabilizes on a
+// wrong answer must fail the correctness clause, not pass as stable.
+func TestCheckDetectsStableButIncorrect(t *testing.T) {
+	// The identity machine: every configuration is trivially stable (its
+	// forward closure is itself), the predicate agrees, and Correct
+	// rejects everything.
+	m := Machine{
+		Name:            "frozen",
+		States:          2,
+		Step:            func(a, b byte) (byte, byte) { return a, b },
+		Output:          func(s byte) byte { return s },
+		StablePredicate: func([]int) bool { return true },
+		Correct:         func([]byte) bool { return false },
+	}
+	g := graph.Path(2)
+	_, err := Check(g, m, []byte{0, 1}, nil)
+	if err == nil || !strings.Contains(err.Error(), "stable but incorrect") {
+		t.Fatalf("stable-but-incorrect not detected: %v", err)
+	}
+}
+
+// TestCheckDetectsLivelock — a machine that can wander away from
 // stabilization forever must be caught by the liveness check.
 func TestCheckDetectsLivelock(t *testing.T) {
 	// Two states flipping forever; outputs differ, nothing is stable.

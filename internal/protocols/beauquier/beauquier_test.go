@@ -50,7 +50,7 @@ func TestInvariantsDuringRun(t *testing.T) {
 	}
 }
 
-// TestCountersAccurateAfterFusedRun: the fused table kernels mutate the
+// TestCountersAccurateAfterFusedRun — the fused table kernels mutate the
 // state array behind Step's back and ReloadCounters rebuilds the token
 // counters at the end of the run — Counts(), Leaders() and Stable()
 // must agree with a full scan afterwards, for capped and stabilized

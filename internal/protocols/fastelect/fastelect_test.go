@@ -115,7 +115,7 @@ func TestBackupPathStabilizes(t *testing.T) {
 	}
 }
 
-// TestBackupInvariant: within the backup, candidates = black + white and
+// TestBackupInvariant — within the backup, candidates = black + white and
 // black >= 1 once any candidate entered.
 func TestBackupInvariant(t *testing.T) {
 	g := graph.NewClique(10)
@@ -159,7 +159,7 @@ func TestStabilityIsPermanent(t *testing.T) {
 	}
 }
 
-// TestLevelsMonotoneAndCapped: levels never decrease and never exceed the cap.
+// TestLevelsMonotoneAndCapped — levels never decrease and never exceed the cap.
 func TestLevelsMonotoneAndCapped(t *testing.T) {
 	g := graph.NewClique(8)
 	p := New(Params{H: 2, L: 3, AlphaL: 6})
@@ -182,7 +182,7 @@ func TestLevelsMonotoneAndCapped(t *testing.T) {
 	}
 }
 
-// TestFollowersNeverPromoted: once a node loses fast-phase leader status
+// TestFollowersNeverPromoted — once a node loses fast-phase leader status
 // it never outputs leader again unless it is a backup candidate (which
 // can only happen if it entered backup as a leader).
 func TestFollowersNeverPromoted(t *testing.T) {

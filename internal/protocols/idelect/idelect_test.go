@@ -152,7 +152,7 @@ func TestRegularVariantUsesFewerBits(t *testing.T) {
 	}
 }
 
-// TestLemma22IdentifierDistribution: a finished identifier is uniform on
+// TestLemma22IdentifierDistribution — a finished identifier is uniform on
 // {2^k, ..., 2^{k+1}−1}; check the low bit (the node's last role) is fair.
 func TestLemma22IdentifierDistribution(t *testing.T) {
 	g := graph.NewClique(6)

@@ -51,7 +51,7 @@ func TestComputesMajorityOnFamilies(t *testing.T) {
 	}
 }
 
-// TestStrongDifferenceInvariant: #strong1 − #strong0 is conserved by
+// TestStrongDifferenceInvariant — #strong1 − #strong0 is conserved by
 // every interaction — the exactness invariant.
 func TestStrongDifferenceInvariant(t *testing.T) {
 	g := graph.Torus2D(4, 4)
@@ -185,7 +185,7 @@ func TestCountersMatchScans(t *testing.T) {
 	t.Fatal("run did not stabilize within 20000 steps")
 }
 
-// TestTableMatchesStep: the per-sign generated tables agree with the
+// TestTableMatchesStep — the per-sign generated tables agree with the
 // hand-written transition on every state pair, and their stability
 // functional (no losing-side nodes left) matches Stable on reachable
 // configurations of either sign.

@@ -106,7 +106,7 @@ func TestCountersMatchScans(t *testing.T) {
 	}
 }
 
-// TestTableMatchesStep: the generated transition table agrees with the
+// TestTableMatchesStep — the generated transition table agrees with the
 // hand-written Step on every state pair, roles and counters included.
 func TestTableMatchesStep(t *testing.T) {
 	p := New()

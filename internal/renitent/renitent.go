@@ -29,10 +29,8 @@ type Cover struct {
 	Radius int
 }
 
-// errors returned by validators and constructors.
-var (
-	ErrBadCover = errors.New("renitent: invalid cover")
-)
+// ErrBadCover is the sentinel wrapped by every Validate failure.
+var ErrBadCover = errors.New("renitent: invalid cover")
 
 // Validate checks the structural requirements of a (K, ℓ)-cover on g:
 // at least two parts, equal part sizes, full coverage, and some pair of

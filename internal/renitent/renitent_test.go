@@ -59,7 +59,7 @@ func TestCoverValidateRejectsBadCovers(t *testing.T) {
 	}
 }
 
-// TestLemma37CycleIsolation: cycles are Ω(n²)-renitent — the isolation
+// TestLemma37CycleIsolation — cycles are Ω(n²)-renitent — the isolation
 // time of the cycle cover is at least c·ℓ·m with probability >= 1/2.
 func TestLemma37CycleIsolation(t *testing.T) {
 	const n = 64
@@ -119,7 +119,7 @@ func TestTorusSlabCoverPanics(t *testing.T) {
 	TorusSlabCover(16, 16)
 }
 
-// TestTorusRenitence: torus isolation time is Ω(ℓ·m) with constant
+// TestTorusRenitence — torus isolation time is Ω(ℓ·m) with constant
 // probability (Section 6.2). Crossing the radius-ℓ gap admits many
 // parallel edge sequences, so unlike the single-path cycle the union
 // bound needs ℓ >~ ln(#paths); we use an elongated torus (few parallel
@@ -146,7 +146,7 @@ func TestTorusRenitence(t *testing.T) {
 	}
 }
 
-// TestTorusRenitenceScaling: doubling the long dimension (at fixed column
+// TestTorusRenitenceScaling — doubling the long dimension (at fixed column
 // count) quadruples ℓ·m and should roughly quadruple the isolation time.
 func TestTorusRenitenceScaling(t *testing.T) {
 	r := xrand.New(25)
@@ -199,7 +199,7 @@ func TestFourCopiesValidation(t *testing.T) {
 	}
 }
 
-// TestLemma38Renitence: the four-copies graph has isolation time Ω(ℓm)
+// TestLemma38Renitence — the four-copies graph has isolation time Ω(ℓm)
 // with probability >= 1/2 and broadcast time Ω(ℓm).
 func TestLemma38Renitence(t *testing.T) {
 	g, cover, err := FourCopies(cliqueDense(6), 0, 8)
@@ -258,7 +258,7 @@ func TestTheorem39GraphRegimes(t *testing.T) {
 	}
 }
 
-// TestTheorem39BroadcastScales: on the Theorem 39 graph the measured
+// TestTheorem39BroadcastScales — on the Theorem 39 graph the measured
 // broadcast time scales like the target Θ(T): doubling T roughly doubles
 // the measured isolation/broadcast time.
 func TestTheorem39BroadcastScales(t *testing.T) {

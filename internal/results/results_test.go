@@ -108,7 +108,7 @@ func TestSummaryTable(t *testing.T) {
 	}
 }
 
-// TestSchedulerSplitsGroupsAndRoundTrips: records differing only in
+// TestSchedulerSplitsGroupsAndRoundTrips — records differing only in
 // scheduler are distinct grid cells, the field survives the JSONL
 // round trip, and the table renders it — with records predating the
 // scheduler axis (empty field) displayed as uniform.
@@ -151,7 +151,7 @@ func TestSchedulerSplitsGroupsAndRoundTrips(t *testing.T) {
 	}
 }
 
-// TestSummaryTableNoStabilizedRendersDash: a configuration where every
+// TestSummaryTableNoStabilizedRendersDash — a configuration where every
 // trial hit the step cap used to print steps(mean)=0, which read as
 // instant stabilization; it must render "—" markers instead.
 func TestSummaryTableNoStabilizedRendersDash(t *testing.T) {
@@ -177,7 +177,7 @@ func TestSummaryTableNoStabilizedRendersDash(t *testing.T) {
 	}
 }
 
-// TestTimingFieldsRoundTripAndAggregate: elapsed_ns/queue_wait_ns
+// TestTimingFieldsRoundTripAndAggregate — elapsed_ns/queue_wait_ns
 // survive the JSONL round trip, stay omitted when zero (so old logs
 // re-encode unchanged), aggregate into a completed-trials mean, and the
 // table renders the time column — with a dash for timing-free groups.
@@ -234,7 +234,51 @@ func TestTimingFieldsRoundTripAndAggregate(t *testing.T) {
 	}
 }
 
-// TestBackupMeanExcludesCrashedTrials: crashed trials report Backup = 0
+// TestReadLegacyLogWithoutTimingFields — verbatim JSONL from a
+// pre-timing producer (no elapsed_ns/queue_wait_ns keys anywhere) must
+// read back with zero timing, survive a write/read round trip, and
+// aggregate with a zero elapsed mean rather than an error.
+func TestReadLegacyLogWithoutTimingFields(t *testing.T) {
+	legacy := strings.Join([]string{
+		`{"graph":"cycle:8","n":8,"m":8,"protocol":"six-state","trial":0,"seed":11,"steps":40,"stabilized":true,"leader":3}`,
+		`{"graph":"cycle:8","n":8,"m":8,"protocol":"six-state","trial":1,"seed":12,"steps":52,"stabilized":true,"leader":0}`,
+		``,
+	}, "\n")
+	recs, err := Read(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records, want 2", len(recs))
+	}
+	for i, r := range recs {
+		if r.ElapsedNs != 0 || r.QueueWaitNs != 0 {
+			t.Fatalf("record %d: timing fields %d/%d, want zero for a legacy log", i, r.ElapsedNs, r.QueueWaitNs)
+		}
+	}
+	var rewritten bytes.Buffer
+	if err := Write(&rewritten, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&rewritten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("round trip changed record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+	groups := Aggregate(recs)
+	if len(groups) != 1 || groups[0].ElapsedMeanNs != 0 {
+		t.Fatalf("legacy aggregate ElapsedMeanNs = %v, want 0", groups[0].ElapsedMeanNs)
+	}
+	if groups[0].Steps.Mean != 46 {
+		t.Fatalf("Steps.Mean = %v, want 46", groups[0].Steps.Mean)
+	}
+}
+
+// TestBackupMeanExcludesCrashedTrials — crashed trials report Backup = 0
 // vacuously and must not dilute the mean over completed trials.
 func TestBackupMeanExcludesCrashedTrials(t *testing.T) {
 	recs := []Record{
@@ -253,7 +297,7 @@ func TestBackupMeanExcludesCrashedTrials(t *testing.T) {
 	}
 }
 
-// TestAggregateAndTableSurfaceCrashedTrials: records with Error set count
+// TestAggregateAndTableSurfaceCrashedTrials — records with Error set count
 // as Failed, never as stabilized, and the table flags them.
 func TestAggregateAndTableSurfaceCrashedTrials(t *testing.T) {
 	recs := []Record{

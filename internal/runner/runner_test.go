@@ -145,7 +145,7 @@ func TestSlowProgressDoesNotSerializeTrials(t *testing.T) {
 	}
 }
 
-// TestPoolMeterAggregates: a pool-level meter must see every trial —
+// TestPoolMeterAggregates — a pool-level meter must see every trial —
 // steps equal to the sum of per-outcome steps, one dispatch per trial,
 // trial latency histogram counts matching — via per-worker shards
 // merged after the drain.
@@ -195,7 +195,7 @@ func TestPoolMeterAggregates(t *testing.T) {
 	}
 }
 
-// TestPoolMeterCountsFailedTrials: a crashed trial flushes no engine
+// TestPoolMeterCountsFailedTrials — a crashed trial flushes no engine
 // accounting (its recorded steps are 0) but is still counted as a
 // failed trial, keeping snapshot steps equal to the results-log sum.
 func TestPoolMeterCountsFailedTrials(t *testing.T) {
@@ -236,7 +236,7 @@ func TestPoolJournalRecordsRunSpan(t *testing.T) {
 	}
 }
 
-// TestPanickingTrialIsIsolated: one crashing trial (star protocol on a
+// TestPanickingTrialIsIsolated — one crashing trial (star protocol on a
 // non-star graph, the sweep-grid scenario) must yield a failed Outcome
 // while every other job in the batch still completes — previously the
 // panic escaped the worker goroutine and killed the whole process.
@@ -280,7 +280,7 @@ func TestRunEmpty(t *testing.T) {
 	}
 }
 
-// TestRunSurfacesCompileErrors: an invalid run configuration (here a
+// TestRunSurfacesCompileErrors — an invalid run configuration (here a
 // drop rate outside [0, 1)) must surface as the trial's Outcome.Err via
 // sim.RunE's error return — not by recovering a panic — and must not
 // take down the batch.

@@ -19,6 +19,7 @@
 // transition-table variants in engine_table.go consume no extra
 // randomness); engine_test.go asserts all three against an independent
 // step-at-a-time reference loop.
+
 package sim
 
 import (
@@ -77,6 +78,8 @@ func newRngBlock() rngBlock { return rngBlock{k: rngBlockSize} }
 // next returns the next stream value, refilling the block when
 // exhausted. The hot path is a bounds-elided load and an increment; the
 // refill lives in its own function so next stays inlinable.
+//
+//popcheck:kernel
 func (b *rngBlock) next(r *xrand.Rand) uint64 {
 	if b.k == rngBlockSize {
 		b.refill(r)
@@ -90,6 +93,7 @@ func (b *rngBlock) next(r *xrand.Rand) uint64 {
 // itself within the inlining budget, which is what makes the per-draw
 // cost of the kernels a buffer load instead of a function call.
 //
+//popcheck:kernel
 //go:noinline
 func (b *rngBlock) refill(r *xrand.Rand) {
 	b.saved = r.Save()
@@ -144,6 +148,7 @@ func newDenseKernel(g *graph.Dense, drop float64) *denseKernel {
 	}
 }
 
+//popcheck:kernel
 func (kn *denseKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bool) {
 	blk := &kn.blk
 	for i := int64(1); i <= k; i++ {
@@ -197,6 +202,7 @@ func newCliqueKernel(g graph.Clique, drop float64) *cliqueKernel {
 	}
 }
 
+//popcheck:kernel
 func (kn *cliqueKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bool) {
 	blk := &kn.blk
 	for i := int64(1); i <= k; i++ {
@@ -261,6 +267,7 @@ func newWeightedKernel(s *Weighted, drop float64) *weightedKernel {
 	}
 }
 
+//popcheck:kernel
 func (kn *weightedKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bool) {
 	blk := &kn.blk
 	for i := int64(1); i <= k; i++ {
@@ -329,6 +336,7 @@ func newNodeClockKernel(s *NodeClock, drop float64) *nodeClockKernel {
 	return kn
 }
 
+//popcheck:kernel
 func (kn *nodeClockKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bool) {
 	blk := &kn.blk
 	for i := int64(1); i <= k; i++ {
@@ -346,7 +354,7 @@ func (kn *nodeClockKernel) run(p Protocol, r *xrand.Rand, _, k int64) (int64, bo
 			nb := kn.dense.Neighbors(u)
 			v = int(nb[blk.uintn(r, uint64(len(nb)))])
 		} else {
-			v = kn.g.NeighborAt(u, int(blk.uintn(r, uint64(kn.g.Degree(u)))))
+			v = kn.g.NeighborAt(u, int(blk.uintn(r, uint64(kn.g.Degree(u))))) //popcheck:ignore hotpath non-CSR fallback; dense path above covers built-in graphs
 		}
 		if kn.drop == 0 || xrand.Float64From(blk.next(r)) >= kn.drop {
 			p.Step(u, v)
@@ -366,6 +374,8 @@ func (kn *nodeClockKernel) stats() (int64, int64) { return kn.blk.refills, kn.dr
 
 // uintn is xrand.Uintn fed from the block buffer: same guarded Lemire
 // rejection, same accepted draws, for bounds that vary per step.
+//
+//popcheck:kernel
 func (b *rngBlock) uintn(r *xrand.Rand, n uint64) uint64 {
 	hi, lo := bits.Mul64(b.next(r), n)
 	if lo < n {

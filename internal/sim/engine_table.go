@@ -21,6 +21,7 @@
 // are reconciled by kernel.sync — which the plan invokes before every
 // observer callback and at the end of the run — via
 // Tabular.ReloadCounters.
+
 package sim
 
 import (
@@ -101,6 +102,7 @@ func newDenseTableKernel(g *graph.Dense, drop float64, p Tabular) *denseTableKer
 	}
 }
 
+//popcheck:kernel
 func (kn *denseTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int64, bool) {
 	blk := &kn.blk
 	tm := &kn.tm
@@ -162,6 +164,7 @@ func newCliqueTableKernel(g graph.Clique, drop float64, p Tabular) *cliqueTableK
 	}
 }
 
+//popcheck:kernel
 func (kn *cliqueTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int64, bool) {
 	blk := &kn.blk
 	tm := &kn.tm
@@ -231,6 +234,7 @@ func newWeightedTableKernel(s *Weighted, drop float64, p Tabular) *weightedTable
 	}
 }
 
+//popcheck:kernel
 func (kn *weightedTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int64, bool) {
 	blk := &kn.blk
 	tm := &kn.tm
@@ -305,6 +309,7 @@ func newNodeClockTableKernel(s *NodeClock, drop float64, p Tabular) *nodeClockTa
 	return kn
 }
 
+//popcheck:kernel
 func (kn *nodeClockTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int64, bool) {
 	blk := &kn.blk
 	tm := &kn.tm
@@ -325,7 +330,7 @@ func (kn *nodeClockTableKernel) run(_ Protocol, r *xrand.Rand, _, k int64) (int6
 			nb := kn.dense.Neighbors(u)
 			v = int(nb[blk.uintn(r, uint64(len(nb)))])
 		} else {
-			v = kn.g.NeighborAt(u, int(blk.uintn(r, uint64(kn.g.Degree(u)))))
+			v = kn.g.NeighborAt(u, int(blk.uintn(r, uint64(kn.g.Degree(u))))) //popcheck:ignore hotpath non-CSR fallback; dense path above covers built-in graphs
 		}
 		if kn.drop == 0 || xrand.Float64From(blk.next(r)) >= kn.drop {
 			c := cells[uint32(states[u])*kk+uint32(states[v])]

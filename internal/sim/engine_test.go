@@ -101,7 +101,7 @@ func TestEngineSequentialRuns(t *testing.T) {
 	}
 }
 
-// TestEngineObserverAndDropOnFastPath: instrumented runs now stay on
+// TestEngineObserverAndDropOnFastPath — instrumented runs now stay on
 // the specialized kernels (observers are chunk boundaries, drops are
 // prefetched block draws); the observable behaviour must be unchanged —
 // an every-step observer sees every step, drop-rate runs stabilize.

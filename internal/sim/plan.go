@@ -12,6 +12,7 @@
 // alive across chunks, so boundary placement never changes the random
 // stream — only where control returns to the plan for the Observe
 // callback and the stabilization exit.
+
 package sim
 
 import (

@@ -13,7 +13,7 @@ import (
 	"popgraph/internal/xrand"
 )
 
-// TestCompileValidation: every input the old Run panicked on — and the
+// TestCompileValidation — every input the old Run panicked on — and the
 // scheduler/graph mismatches it silently accepted — must come back as a
 // compile error naming the problem.
 func TestCompileValidation(t *testing.T) {
@@ -81,7 +81,7 @@ func TestCompileValidation(t *testing.T) {
 	}
 }
 
-// TestCompileEngineSelection: the plan must pick the specialized kernel
+// TestCompileEngineSelection — the plan must pick the specialized kernel
 // whenever one exists for the scheduler × graph shape — regardless of
 // observers and drop rates, which no longer force the generic loop —
 // and fall back to the generic reference kernel for stateful
@@ -140,7 +140,7 @@ func TestCompileEngineSelection(t *testing.T) {
 	}
 }
 
-// TestProtocolEngineSelection: the protocol axis of kernel selection.
+// TestProtocolEngineSelection — the protocol axis of kernel selection.
 // A Tabular protocol fuses into the table variant of every specialized
 // scheduler kernel; Options.NoTable, the generic kernel (churn,
 // samplers, Reference) and non-Tabular protocols keep Step dispatch.
@@ -188,7 +188,7 @@ func TestProtocolEngineSelection(t *testing.T) {
 	}
 }
 
-// TestPlanMaxStepsResolution: the compiled plan resolves the default
+// TestPlanMaxStepsResolution — the compiled plan resolves the default
 // cap once, at compile time.
 func TestPlanMaxStepsResolution(t *testing.T) {
 	g := graph.NewClique(16)
@@ -208,7 +208,7 @@ func TestPlanMaxStepsResolution(t *testing.T) {
 	}
 }
 
-// TestPlanIsReusable: a plan holds no per-run state — repeated Run
+// TestPlanIsReusable — a plan holds no per-run state — repeated Run
 // calls from the same seed replay identically, including for schedulers
 // with per-run mutable sources (churn) and for runs sharing one
 // generator sequentially.

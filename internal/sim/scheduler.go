@@ -22,6 +22,7 @@
 // node-clock run is byte-identical to driving the scheduler's Source
 // by hand. Churn keeps per-run mutable state and runs on the generic
 // kernel.
+
 package sim
 
 import (

@@ -10,7 +10,7 @@ import (
 	"popgraph/internal/xrand"
 )
 
-// TestUniformSchedulerIsIdentity: plugging in Uniform{} explicitly must
+// TestUniformSchedulerIsIdentity — plugging in Uniform{} explicitly must
 // be byte-identical to leaving Options.Scheduler nil — same Result, same
 // post-run generator state — on both fast-loop representations, so the
 // scheduler refactor is invisible to every existing caller.
@@ -38,7 +38,7 @@ func TestUniformSchedulerIsIdentity(t *testing.T) {
 	}
 }
 
-// TestWeightedFrequencies: a weighted scheduler on a path with rates
+// TestWeightedFrequencies — a weighted scheduler on a path with rates
 // 1:3 must deliver the heavy edge three times as often, with the
 // initiator direction split evenly.
 func TestWeightedFrequencies(t *testing.T) {
@@ -72,7 +72,7 @@ func TestWeightedFrequencies(t *testing.T) {
 	}
 }
 
-// TestUniformBeginHonorsContract: a graph-bound Uniform is a complete
+// TestUniformBeginHonorsContract — a graph-bound Uniform is a complete
 // Scheduler for generic callers that drive Begin/Next themselves —
 // its Source delivers the graph's own SampleEdge stream.
 func TestUniformBeginHonorsContract(t *testing.T) {
@@ -109,7 +109,7 @@ func TestWeightedValidation(t *testing.T) {
 	}
 }
 
-// TestNodeClockMatchesUniformDistribution: picking a node proportionally
+// TestNodeClockMatchesUniformDistribution — picking a node proportionally
 // to degree and then a uniform neighbor induces the uniform distribution
 // over ordered adjacent pairs (deg(u)/2m · 1/deg(u) = 1/2m); check it
 // empirically on a star, whose degrees are maximally skewed.
@@ -145,7 +145,7 @@ func TestNodeClockMatchesUniformDistribution(t *testing.T) {
 	}
 }
 
-// TestChurnStationaryAndBursts: on a single-edge graph the edge's on/off
+// TestChurnStationaryAndBursts — on a single-edge graph the edge's on/off
 // chain advances every step, so the suppressed fraction must match the
 // stationary down probability DownLen/(UpLen+DownLen) and the mean
 // length of consecutive suppressed runs must match DownLen.
@@ -193,7 +193,7 @@ func TestChurnValidation(t *testing.T) {
 	}
 }
 
-// TestChurnFreshStatePerRun: Begin must return an independent source per
+// TestChurnFreshStatePerRun — Begin must return an independent source per
 // run, so two runs from the same seed replay identically even when
 // sharing one Churn value (as sweep grid cells do across trials).
 func TestChurnFreshStatePerRun(t *testing.T) {
@@ -219,7 +219,7 @@ func TestChurnFreshStatePerRun(t *testing.T) {
 	}
 }
 
-// TestSchedulersRunDeterministic: a full Run under every non-uniform
+// TestSchedulersRunDeterministic — a full Run under every non-uniform
 // scheduler stabilizes (suppressed contacts only delay a
 // schedule-oblivious protocol) and reproduces exactly for a fixed seed.
 func TestSchedulersRunDeterministic(t *testing.T) {
@@ -254,7 +254,7 @@ func TestSchedulersRunDeterministic(t *testing.T) {
 	}
 }
 
-// TestChurnComposesWithDropRate: churn suppression and i.i.d. drops
+// TestChurnComposesWithDropRate — churn suppression and i.i.d. drops
 // stack; the run still stabilizes and stays deterministic.
 func TestChurnComposesWithDropRate(t *testing.T) {
 	g := graph.NewClique(12)

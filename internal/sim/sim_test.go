@@ -137,7 +137,7 @@ func TestObserverCadence(t *testing.T) {
 	}
 }
 
-// TestDropRateRobustness: with interactions dropped at rate q, protocols
+// TestDropRateRobustness — with interactions dropped at rate q, protocols
 // still stabilize, slowed by roughly 1/(1−q).
 func TestDropRateRobustness(t *testing.T) {
 	g := graph.NewClique(24)
@@ -204,7 +204,7 @@ func TestDefaultMaxStepsCoversLollipop(t *testing.T) {
 	}
 }
 
-// TestDefaultMaxStepsOverflowGuard: 72·n⁴·log₂n overflows int64 around
+// TestDefaultMaxStepsOverflowGuard — 72·n⁴·log₂n overflows int64 around
 // n ≈ 50k; the cap must clamp, not wrap negative.
 func TestDefaultMaxStepsOverflowGuard(t *testing.T) {
 	for _, n := range []int{50_000, 5_000_000, math.MaxInt32} {

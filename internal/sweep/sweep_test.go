@@ -178,7 +178,7 @@ func TestBuildRejectsBadSpecs(t *testing.T) {
 	}
 }
 
-// TestBuildSchedulerAxis: the scheduler axis multiplies the grid, every
+// TestBuildSchedulerAxis — the scheduler axis multiplies the grid, every
 // task carries its scheduler's display name, and the weighted
 // scheduler's random edge rates are constructed once per graph ×
 // scheduler cell (deterministically), not once per trial.
@@ -325,7 +325,7 @@ func TestExecuteMeterMatchesRecords(t *testing.T) {
 	}
 }
 
-// TestAttachTrajectories: one trajectory per trial in grid order, each
+// TestAttachTrajectories — one trajectory per trial in grid order, each
 // closing with a terminal sample that agrees with the trial's record
 // (step count, and a single leader for stabilized trials) — and the
 // records themselves stay byte-identical to an unobserved run.

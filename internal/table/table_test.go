@@ -66,7 +66,7 @@ func TestNoTitle(t *testing.T) {
 	}
 }
 
-// TestMultibyteCellAlignment: cells are padded by display runes, not
+// TestMultibyteCellAlignment — cells are padded by display runes, not
 // bytes, so the 3-byte "—" marker must not shift later columns.
 func TestMultibyteCellAlignment(t *testing.T) {
 	tb := New("", "aa", "bb")

@@ -1,6 +1,7 @@
 // The -pprof debug endpoint: net/http/pprof plus a live /metrics JSON
 // snapshot, shared by every CLI so a stuck sweep can be profiled and
 // watched without restarting it.
+
 package telemetry
 
 import (

@@ -4,6 +4,7 @@
 // taken on different workers (or different shards of a sweep) merge by
 // plain bucket-wise addition — the merge of the parts is exactly the
 // histogram of the whole.
+
 package telemetry
 
 import (

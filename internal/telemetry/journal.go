@@ -3,6 +3,7 @@
 // close so a crashed run still leaves a usable timeline. One line per
 // record keeps the format greppable and trivially concatenable across
 // shards.
+
 package telemetry
 
 import (

@@ -32,7 +32,7 @@ func TestBucketOfLo(t *testing.T) {
 		}
 	}
 	for i := 0; i < histBuckets; i++ {
-		if lo := bucketLo(i); bucketOf(lo) != i && !(i == 1 && lo == 1) {
+		if lo := bucketLo(i); bucketOf(lo) != i && (i != 1 || lo != 1) {
 			if bucketOf(lo) != i {
 				t.Errorf("bucketOf(bucketLo(%d)) = %d, want %d", i, bucketOf(lo), i)
 			}

@@ -2,6 +2,7 @@
 // sampled through the simulator's observer hook, for plotting how a
 // protocol approaches stability against the paper's bound rather than
 // only recording when it got there.
+
 package telemetry
 
 import (

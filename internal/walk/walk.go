@@ -236,9 +236,10 @@ func PopulationHittingMC(g graph.Graph, u, v int, r *xrand.Rand, trials int) flo
 		for x != v {
 			a, b := g.SampleEdge(r)
 			steps++
-			if a == x {
+			switch x {
+			case a:
 				x = b
-			} else if b == x {
+			case b:
 				x = a
 			}
 		}
@@ -292,7 +293,7 @@ func MeetingExact(g graph.Graph) [][]float64 {
 			// the edge {x, y} absorbs; an edge {x, w} moves x to w (note
 			// w = y is impossible here unless it IS the absorbing edge);
 			// similarly for y; other edges leave the state unchanged.
-			var stay float64 = float64(g.M())
+			stay := float64(g.M())
 			pij := pairIdx(x, y)
 			if adjacent[pij] {
 				stay-- // absorbing transition

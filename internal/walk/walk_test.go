@@ -84,7 +84,7 @@ func TestClassicHittingMCMatchesExact(t *testing.T) {
 	}
 }
 
-// TestLemma17PopulationVsClassic: H_P(u, v) <= 27·n·H(G); also sanity that
+// TestLemma17PopulationVsClassic — H_P(u, v) <= 27·n·H(G); also sanity that
 // the population walk is roughly m/deg-times slower than the classic one.
 func TestLemma17PopulationVsClassic(t *testing.T) {
 	graphs := []graph.Graph{graph.Cycle(12), graph.NewClique(8), graph.Star(10)}
@@ -99,7 +99,7 @@ func TestLemma17PopulationVsClassic(t *testing.T) {
 	}
 }
 
-// TestPopulationWalkSlowdown: on a regular graph, each population-walk
+// TestPopulationWalkSlowdown — on a regular graph, each population-walk
 // move takes Geom(deg/m) scheduler steps, so H_P(u,v) ≈ (m/deg)·H(u,v).
 func TestPopulationWalkSlowdown(t *testing.T) {
 	g := graph.Cycle(10) // deg 2, m = 10: slowdown 5
@@ -112,7 +112,7 @@ func TestPopulationWalkSlowdown(t *testing.T) {
 	}
 }
 
-// TestLemma18MeetingBound: M(u, v) <= 2·H_P(G). We bound H_P(G) by
+// TestLemma18MeetingBound — M(u, v) <= 2·H_P(G). We bound H_P(G) by
 // 27·n·H(G) (Lemma 17) and check the Monte-Carlo meeting time against it.
 func TestLemma18MeetingBound(t *testing.T) {
 	r := xrand.New(13)
@@ -126,7 +126,7 @@ func TestLemma18MeetingBound(t *testing.T) {
 	}
 }
 
-// TestPopulationExactRegularSlowdown: on regular graphs the population
+// TestPopulationExactRegularSlowdown — on regular graphs the population
 // walk is exactly the classic walk slowed by m/Δ.
 func TestPopulationExactRegularSlowdown(t *testing.T) {
 	for _, g := range []graph.Graph{graph.Cycle(12), graph.Hypercube(4), graph.NewClique(8)} {
@@ -225,7 +225,7 @@ func TestLemma18Exact(t *testing.T) {
 	}
 }
 
-// TestMeetingExactAdjacentPairOnEdgeGraph: on K_2 the two walks meet when
+// TestMeetingExactAdjacentPairOnEdgeGraph — on K_2 the two walks meet when
 // the single edge is sampled: M = 1 step exactly.
 func TestMeetingExactAdjacentPairOnEdgeGraph(t *testing.T) {
 	g := graph.Path(2)
@@ -254,7 +254,7 @@ func TestWorstHittingMCNearExact(t *testing.T) {
 	}
 }
 
-// TestProposition20DenseRandomHitting: H(G(n, p)) ∈ O(n) for constant p;
+// TestProposition20DenseRandomHitting — H(G(n, p)) ∈ O(n) for constant p;
 // measured on a modest instance, H(G)/n should be a small constant.
 func TestProposition20DenseRandomHitting(t *testing.T) {
 	r := xrand.New(19)

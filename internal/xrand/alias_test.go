@@ -60,7 +60,7 @@ func TestAliasFrequencies(t *testing.T) {
 	}
 }
 
-// TestAliasSingleColumn: a one-column table always returns 0.
+// TestAliasSingleColumn — a one-column table always returns 0.
 func TestAliasSingleColumn(t *testing.T) {
 	a, err := NewAlias([]float64{42})
 	if err != nil {
@@ -74,7 +74,7 @@ func TestAliasSingleColumn(t *testing.T) {
 	}
 }
 
-// TestAliasDeterministicDrawCount: Sample consumes exactly two draws
+// TestAliasDeterministicDrawCount — Sample consumes exactly two draws
 // (one Intn, one Float64), so generator positions stay reproducible.
 func TestAliasDeterministicDrawCount(t *testing.T) {
 	a, err := NewAlias([]float64{2, 5, 1})
@@ -95,7 +95,7 @@ func TestAliasDeterministicDrawCount(t *testing.T) {
 	}
 }
 
-// TestAliasTableReplaysSample: driving the exposed table columns with
+// TestAliasTableReplaysSample — driving the exposed table columns with
 // the same Intn + Float64 draw sequence Sample makes must reproduce
 // Sample's outputs exactly, so monomorphized kernels can bypass the
 // method without changing any stream.

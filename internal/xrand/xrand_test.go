@@ -290,7 +290,7 @@ func BenchmarkFill(b *testing.B) {
 	}
 }
 
-// TestFloat64FromMatchesFloat64: converting a prefetched Uint64 with
+// TestFloat64FromMatchesFloat64 — converting a prefetched Uint64 with
 // Float64From must give the exact float a live Float64 call would have
 // produced for the same stream position — the property the simulator's
 // block kernels rely on for byte-identical drop and alias decisions.

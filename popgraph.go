@@ -357,9 +357,10 @@ func ParseScheduler(spec string, g Graph, r *Rand) (Scheduler, error) {
 		return sim.Uniform{G: g}, nil
 	case "weighted":
 		model := "exp"
-		if len(parts) == 2 {
+		switch {
+		case len(parts) == 2:
 			model = parts[1]
-		} else if len(parts) != 1 {
+		case len(parts) != 1:
 			return nil, argErr("")
 		}
 		rates := make([]float64, 0, g.M())

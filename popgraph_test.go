@@ -101,7 +101,7 @@ func TestParseGraphErrors(t *testing.T) {
 	}
 }
 
-// TestParseGraphRangeErrors: specs that are grammatically fine but whose
+// TestParseGraphRangeErrors — specs that are grammatically fine but whose
 // parameters are out of range for the family must come back as errors
 // naming the spec — the generators panic on them, and that panic used to
 // escape and crash the CLI tools with a backtrace.
@@ -182,7 +182,7 @@ func TestParseSchedulerErrors(t *testing.T) {
 	}
 }
 
-// TestParsedSchedulersRun: every parsed scheduler drives a full run to
+// TestParsedSchedulersRun — every parsed scheduler drives a full run to
 // stabilization through the public facade.
 func TestParsedSchedulersRun(t *testing.T) {
 	g := popgraph.Torus(3, 4)
@@ -213,7 +213,7 @@ func TestParseProtocol(t *testing.T) {
 	}
 }
 
-// TestProtocolSpecErrors: every malformed protocol spec comes back from
+// TestProtocolSpecErrors — every malformed protocol spec comes back from
 // ParseProtocol/ProtocolFactory as an error naming the problem — never
 // a panic, and never a nil factory alongside a nil error.
 func TestProtocolSpecErrors(t *testing.T) {
@@ -259,7 +259,7 @@ func TestProtocolSpecErrors(t *testing.T) {
 	}
 }
 
-// TestMajorityFactoryIsTrialSafe: a majority:FRAC factory hands each
+// TestMajorityFactoryIsTrialSafe — a majority:FRAC factory hands each
 // trial a fresh instance over the same deterministic input assignment.
 func TestMajorityFactoryIsTrialSafe(t *testing.T) {
 	r := popgraph.NewRand(21)
@@ -336,7 +336,7 @@ func TestRunMajorityFacade(t *testing.T) {
 	}
 }
 
-// TestRunMajorityDefaultCap: RunMajority routes through the standard
+// TestRunMajorityDefaultCap — RunMajority routes through the standard
 // execution plan, so maxSteps <= 0 means the same DefaultMaxSteps
 // default as every other entry point (regression: it used an ad-hoc
 // 1<<42 cap), an explicit cap is honored exactly, and the defaulted run
@@ -387,7 +387,7 @@ func TestNewGraphFacade(t *testing.T) {
 	}
 }
 
-// TestCompileAndRunE: the root package re-exports the plan API — bad
+// TestCompileAndRunE — the root package re-exports the plan API — bad
 // configurations come back as errors naming the problem, good ones
 // compile to a named kernel and run identically to Run.
 func TestCompileAndRunE(t *testing.T) {

@@ -2,6 +2,7 @@ package popgraph
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -193,7 +194,7 @@ func ProtocolFactory(spec string, g Graph, r *Rand) (factory func() Protocol, er
 // compute — the run would stabilize on its first interaction).
 func majorityFactory(spec, frac string, n int) (func() Protocol, error) {
 	f, err := strconv.ParseFloat(frac, 64)
-	if err != nil || !(f > 0 && f < 1) {
+	if err != nil || math.IsNaN(f) || f <= 0 || f >= 1 {
 		return nil, fmt.Errorf("popgraph: bad protocol spec %q: fraction must be strictly between 0 and 1", spec)
 	}
 	ones := int(f*float64(n) + 0.5)
