@@ -21,6 +21,17 @@
 // (runner.SeedFor(base, trial), mix(...)), a plain variable or field
 // (the seed was derived elsewhere), and anything outside loops that
 // isn't constant. examples/ are demo code and exempt wholesale.
+//
+// Sharded sweeps add a second seam. A shard owns every m-th cell of the
+// task-major grid, so a shard-local loop index i is NOT a trial number:
+// the trial identity is the global (task, trial) pair, recovered from
+// the planned cell (shard.Cell.Trial), never re-derived by arithmetic
+// like i*m+shard. The analyzer therefore also flags runner.SeedFor
+// calls whose trial argument is arithmetic over an enclosing loop
+// variable — the off-by-shard recipe that makes every shard replay
+// shard 0's seeds or scramble the grid correspondence. Passing a loop
+// variable straight through (runner.SeedFor(base, trial)) or a planned
+// field (cells[i].Trial) stays sanctioned.
 package seedflow
 
 import (
@@ -32,8 +43,12 @@ import (
 )
 
 // xrandPath is the module path of the deterministic RNG package whose
-// constructors this pass guards.
-const xrandPath = "popgraph/internal/xrand"
+// constructors this pass guards; runnerPath holds the sanctioned seed
+// derivation whose trial argument the shard-seam rule inspects.
+const (
+	xrandPath  = "popgraph/internal/xrand"
+	runnerPath = "popgraph/internal/runner"
+)
 
 // Analyzer is the seedflow pass.
 var Analyzer = &analyzers.Analyzer{
@@ -125,6 +140,18 @@ func pushLoop(pass *analyzers.Pass, loopVars map[types.Object]bool, vars []types
 
 func checkCall(pass *analyzers.Pass, call *ast.CallExpr, loopVars map[types.Object]bool) {
 	path, name := pass.PkgFuncCall(call)
+	if path == runnerPath && name == "SeedFor" && len(call.Args) == 2 {
+		// The trial argument must be a trial identity — the loop variable
+		// itself or a planned (task, trial) cell field — not shard-local
+		// arithmetic like i*m+shard, which every shard would compute
+		// differently from the global grid position it claims to run.
+		if v := loopVarIn(pass, call.Args[1], loopVars); v != "" {
+			pass.Reportf(call.Pos(),
+				"runner.SeedFor trial argument mixes loop variable %s arithmetically (shard-local indices must map through the global (task, trial) cell, e.g. cells[%s].Trial, before seed derivation)",
+				v, v)
+		}
+		return
+	}
 	if path != xrandPath || name != "New" || len(call.Args) != 1 {
 		return
 	}

@@ -41,6 +41,40 @@ func sanctioned(base uint64, trials int) []uint64 {
 	return append(out, rng.Uint64(), rng2.Uint64())
 }
 
+// shardCell mirrors shard.Cell for the shard-seam cases without
+// importing the real package.
+type shardCell struct{ Task, Trial int }
+
+// offByShard re-derives global trial numbers from shard-local indices:
+// the arithmetic every shard computes differently from the grid position
+// it actually owns. Flagged on both the interleave and the block shape.
+func offByShard(base uint64, shardIdx, m, n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		s := runner.SeedFor(base, i*m+shardIdx) // want `seedflow: runner\.SeedFor trial argument mixes loop variable i`
+		out = append(out, s)
+	}
+	for i := 0; i < n; i++ {
+		s := runner.SeedFor(base, shardIdx*n+i) // want `seedflow: runner\.SeedFor trial argument mixes loop variable i`
+		out = append(out, s)
+	}
+	return out
+}
+
+// plannedCells maps shard-local indices through the planned global
+// (task, trial) cell before seed derivation: sanctioned, as is passing
+// the loop variable itself straight through.
+func plannedCells(base uint64, cells []shardCell) []uint64 {
+	out := make([]uint64, 0, len(cells))
+	for i := range cells {
+		out = append(out, runner.SeedFor(base, cells[i].Trial))
+	}
+	for trial := 0; trial < len(cells); trial++ {
+		out = append(out, runner.SeedFor(base, trial))
+	}
+	return out
+}
+
 // suppressed documents a deliberate fixed stream.
 func suppressed() *xrand.Rand {
 	return xrand.New(7) //popcheck:ignore seedflow probe RNG, output unused

@@ -93,6 +93,21 @@ func Write(w io.Writer, recs []Record) error {
 // lines are skipped; any malformed line is an error.
 func Read(r io.Reader) ([]Record, error) {
 	var recs []Record
+	err := ForEach(r, func(rec Record) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ForEach decodes a JSON Lines stream one record at a time, calling fn
+// for each — the streaming sibling of Read for consumers (merge,
+// aggregation) that must not hold every record in memory. Blank lines
+// are skipped; a malformed line or an error from fn stops the scan.
+func ForEach(r io.Reader, fn func(Record) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
@@ -104,14 +119,16 @@ func Read(r io.Reader) ([]Record, error) {
 		}
 		var rec Record
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return nil, fmt.Errorf("results: line %d: %w", line, err)
+			return fmt.Errorf("results: line %d: %w", line, err)
 		}
-		recs = append(recs, rec)
+		if err := fn(rec); err != nil {
+			return err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("results: %w", err)
+		return fmt.Errorf("results: %w", err)
 	}
-	return recs, nil
+	return nil
 }
 
 // Group summarizes all trials of one configuration.
@@ -134,48 +151,85 @@ type Group struct {
 }
 
 // Aggregate groups records by configuration key, preserving first-
-// appearance order, and summarizes each group's stabilization times.
+// appearance order, and summarizes each group's stabilization times. It
+// is a convenience wrapper over Accumulator for callers that already
+// hold the full record slice.
 func Aggregate(recs []Record) []Group {
-	index := make(map[Key]int)
-	var order []Key
-	steps := make(map[Key][]float64)
-	backup := make(map[Key]float64)
-	elapsed := make(map[Key]float64)
-	groups := make(map[Key]*Group)
+	acc := NewAccumulator()
 	for _, rec := range recs {
-		k := rec.Key()
-		if _, ok := index[k]; !ok {
-			index[k] = len(order)
-			order = append(order, k)
-			groups[k] = &Group{Key: k, N: rec.N, M: rec.M}
-		}
-		g := groups[k]
-		g.Trials++
-		backup[k] += float64(rec.Backup)
-		if !rec.Failed() {
-			elapsed[k] += float64(rec.ElapsedNs)
-		}
-		if rec.Failed() {
-			g.Failed++
-		} else if rec.Stabilized {
-			g.Stabilized++
-			steps[k] = append(steps[k], float64(rec.Steps))
-		}
+		acc.Add(rec)
 	}
-	out := make([]Group, 0, len(order))
-	for _, k := range order {
-		g := groups[k]
-		if len(steps[k]) > 0 {
-			g.Steps = stats.Summarize(steps[k])
+	return acc.Groups()
+}
+
+// Accumulator aggregates records one at a time into per-configuration
+// groups without retaining the records: step statistics accumulate in a
+// mergeable stats.Stream per group (count/mean/M2 plus a fixed-size
+// quantile sketch), so aggregating a million-trial log costs O(groups)
+// memory. Records added in the same order always produce the same
+// groups — the byte-determinism path for summary tables is "feed the
+// canonical (grid-ordered) record stream to one Accumulator", which is
+// what both a solo sweep and a shard merge do.
+type Accumulator struct {
+	index  map[Key]int
+	groups []*accGroup
+}
+
+// accGroup is a Group under construction plus its running accumulators.
+type accGroup struct {
+	Group
+	steps     stats.Stream
+	backupSum float64
+	elapsedNs float64
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{index: make(map[Key]int)}
+}
+
+// Add folds one record into its configuration group, creating the group
+// in first-appearance order.
+func (a *Accumulator) Add(rec Record) {
+	k := rec.Key()
+	i, ok := a.index[k]
+	if !ok {
+		i = len(a.groups)
+		a.index[k] = i
+		a.groups = append(a.groups, &accGroup{Group: Group{Key: k, N: rec.N, M: rec.M}})
+	}
+	g := a.groups[i]
+	g.Trials++
+	g.backupSum += float64(rec.Backup)
+	if rec.Failed() {
+		g.Failed++
+		return
+	}
+	g.elapsedNs += float64(rec.ElapsedNs)
+	if rec.Stabilized {
+		g.Stabilized++
+		g.steps.Add(float64(rec.Steps))
+	}
+}
+
+// Groups finalizes and returns the aggregated groups in first-appearance
+// order. The accumulator stays usable: more records may be added and
+// Groups called again.
+func (a *Accumulator) Groups() []Group {
+	out := make([]Group, 0, len(a.groups))
+	for _, g := range a.groups {
+		final := g.Group
+		if g.steps.Count > 0 {
+			final.Steps = g.steps.Summary()
 		}
 		// Crashed trials report Backup = 0 vacuously; averaging over them
 		// would dilute the statistic, so divide by completed trials only.
 		// Same for wall time: a crashed trial's timing measures the crash.
 		if completed := g.Trials - g.Failed; completed > 0 {
-			g.BackupMean = backup[k] / float64(completed)
-			g.ElapsedMeanNs = elapsed[k] / float64(completed)
+			final.BackupMean = g.backupSum / float64(completed)
+			final.ElapsedMeanNs = g.elapsedNs / float64(completed)
 		}
-		out = append(out, *g)
+		out = append(out, final)
 	}
 	return out
 }

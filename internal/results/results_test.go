@@ -2,6 +2,7 @@ package results
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -333,3 +334,67 @@ func TestAggregateAndTableSurfaceCrashedTrials(t *testing.T) {
 		t.Fatalf("round-tripped records %+v", back)
 	}
 }
+
+// TestAccumulatorMatchesAggregate — feeding records one at a time through
+// an Accumulator produces exactly what the slice-based Aggregate reports,
+// and the accumulator stays usable after a Groups call.
+func TestAccumulatorMatchesAggregate(t *testing.T) {
+	recs := append(sample(),
+		Record{Graph: "clique-16", N: 16, M: 120, Protocol: "six-state", Trial: 3,
+			Seed: 14, Steps: 0, Stabilized: false, Leader: -1, Error: "boom"},
+	)
+	acc := NewAccumulator()
+	for _, r := range recs[:2] {
+		acc.Add(r)
+	}
+	// An intermediate Groups call must not corrupt later aggregation.
+	if mid := acc.Groups(); len(mid) != 1 || mid[0].Trials != 2 {
+		t.Fatalf("intermediate groups %+v", mid)
+	}
+	for _, r := range recs[2:] {
+		acc.Add(r)
+	}
+	got := acc.Groups()
+	want := Aggregate(recs)
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("group %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestForEachStreams — ForEach visits records in order without buffering
+// and stops on the callback's error.
+func TestForEachStreams(t *testing.T) {
+	var jsonl bytes.Buffer
+	if err := Write(&jsonl, sample()); err != nil {
+		t.Fatal(err)
+	}
+	var seen []Record
+	if err := ForEach(bytes.NewReader(jsonl.Bytes()), func(r Record) error {
+		seen = append(seen, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(sample()) || seen[0] != sample()[0] {
+		t.Fatalf("ForEach saw %d records", len(seen))
+	}
+	stop := errTest
+	n := 0
+	err := ForEach(bytes.NewReader(jsonl.Bytes()), func(Record) error {
+		n++
+		if n == 2 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop || n != 2 {
+		t.Fatalf("ForEach err %v after %d records, want stop after 2", err, n)
+	}
+}
+
+var errTest = errors.New("stop")

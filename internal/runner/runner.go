@@ -110,6 +110,22 @@ type Pool struct {
 // Run executes all jobs and returns their outcomes in job order,
 // independent of worker count. It blocks until every job has finished.
 func (p Pool) Run(jobs []Job) []Outcome {
+	outcomes := make([]Outcome, len(jobs))
+	p.Stream(jobs, func(i int, o Outcome) { outcomes[i] = o })
+	return outcomes
+}
+
+// Stream executes all jobs and delivers each outcome exactly once via
+// emit — serialized on a single goroutine, in job order, as soon as the
+// outcome and all its predecessors are available. This is the
+// cell-completion seam streaming consumers build on: a JSONL writer can
+// flush record i the moment trials 0..i have finished (no end-of-batch
+// buffering), and a checkpoint can mark cell i completed knowing every
+// earlier cell already flushed. Workers never block on emit; outcomes
+// completing ahead of a straggler buffer in a reorder window (bounded by
+// the batch in the worst case, by the in-flight spread in practice).
+// Stream blocks until every job has finished and been delivered.
+func (p Pool) Stream(jobs []Job, emit func(i int, o Outcome)) {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -117,9 +133,8 @@ func (p Pool) Run(jobs []Job) []Outcome {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	outcomes := make([]Outcome, len(jobs))
 	if len(jobs) == 0 {
-		return outcomes
+		return
 	}
 	endBatch := p.Journal.Span("run", map[string]any{"trials": len(jobs), "workers": workers})
 	defer endBatch()
@@ -130,7 +145,35 @@ func (p Pool) Run(jobs []Job) []Outcome {
 		notify chan struct{}
 		wg     sync.WaitGroup
 		repWG  sync.WaitGroup
+		emitWG sync.WaitGroup
 	)
+	// The drainer goroutine owns all emit calls: it reorders completions
+	// into job order and flushes every ready prefix, so emit sees a
+	// strictly sequential 0,1,2,... stream whatever order workers finish
+	// in.
+	type completion struct {
+		i int
+		o Outcome
+	}
+	completions := make(chan completion, workers)
+	emitWG.Add(1)
+	go func() {
+		defer emitWG.Done()
+		pending := make(map[int]Outcome)
+		flush := 0
+		for c := range completions {
+			pending[c.i] = c.o
+			for {
+				o, ok := pending[flush]
+				if !ok {
+					break
+				}
+				delete(pending, flush)
+				emit(flush, o)
+				flush++
+			}
+		}
+	}()
 	if p.Progress != nil {
 		// The reporter goroutine owns all Progress calls: workers only
 		// bump the atomic counter and poke the buffered channel (never
@@ -183,7 +226,7 @@ func (p Pool) Run(jobs []Job) []Outcome {
 				if shard != nil {
 					shard.AddTrial(o.ElapsedNs, o.QueueWaitNs, o.Result.Stabilized, o.Failed())
 				}
-				outcomes[i] = o
+				completions <- completion{i, o}
 				done.Add(1)
 				if notify != nil {
 					select {
@@ -195,6 +238,8 @@ func (p Pool) Run(jobs []Job) []Outcome {
 		}()
 	}
 	wg.Wait()
+	close(completions)
+	emitWG.Wait()
 	if notify != nil {
 		close(notify)
 		repWG.Wait()
@@ -206,7 +251,6 @@ func (p Pool) Run(jobs []Job) []Outcome {
 			}
 		}
 	}
-	return outcomes
 }
 
 // Run executes jobs with the default pool (one worker per CPU).

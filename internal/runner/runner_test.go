@@ -299,3 +299,56 @@ func TestRunSurfacesCompileErrors(t *testing.T) {
 		t.Fatalf("good trial after failed one: %+v", outs[1])
 	}
 }
+
+// TestStreamDeliversInJobOrder — Stream's cell-completion callback fires
+// exactly once per job, in strictly ascending job order, on a single
+// goroutine, whatever order the workers finish in — and the streamed
+// outcomes agree with Run's.
+func TestStreamDeliversInJobOrder(t *testing.T) {
+	g := graph.NewClique(12)
+	jobs := TrialJobs(g, factory, 4242, 40, sim.Options{})
+	want := Pool{Workers: 1}.Run(jobs)
+	for _, workers := range []int{1, 3, runtime.NumCPU()} {
+		var order []int
+		var got []Outcome
+		Pool{Workers: workers}.Stream(jobs, func(i int, o Outcome) {
+			// No locking: emit is specified to be serialized; the race
+			// detector run makes this assertion real.
+			order = append(order, i)
+			got = append(got, o)
+		})
+		if len(order) != len(jobs) {
+			t.Fatalf("workers=%d: %d emits, want %d", workers, len(order), len(jobs))
+		}
+		for i, idx := range order {
+			if idx != i {
+				t.Fatalf("workers=%d: emit %d delivered job %d (out of order)", workers, i, idx)
+			}
+			if !got[i].Same(want[i]) {
+				t.Fatalf("workers=%d: streamed outcome %d differs from Run's", workers, i)
+			}
+		}
+	}
+}
+
+// TestStreamProgressAndMeterStillWork — the streaming path keeps the
+// pool's progress callbacks and meter shards wired up.
+func TestStreamProgressAndMeterStillWork(t *testing.T) {
+	g := graph.NewClique(8)
+	jobs := TrialJobs(g, factory, 7, 10, sim.Options{})
+	meter := new(telemetry.Counters)
+	var last atomic.Int64
+	var steps int64
+	Pool{Workers: 4, Meter: meter, Progress: func(done, total int) {
+		last.Store(int64(done))
+		if total != 10 {
+			panic("bad total")
+		}
+	}}.Stream(jobs, func(_ int, o Outcome) { steps += o.Result.Steps })
+	if last.Load() != 10 {
+		t.Fatalf("final progress %d, want 10", last.Load())
+	}
+	if got := meter.Snapshot().StepsExecuted; got != steps {
+		t.Fatalf("meter steps %d, streamed sum %d", got, steps)
+	}
+}

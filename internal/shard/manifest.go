@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestSchema identifies the checkpoint manifest layout; bump on
+// breaking changes. Readers reject unknown schemas instead of guessing.
+const ManifestSchema = "popgraph-shard/v1"
+
+// Manifest is a shard's checkpoint and merge credential: which sweep
+// (by spec hash) it belongs to, which shard of how many it is, which
+// records file it indexes, and which global cells that file holds, in
+// line order. The writer rewrites it atomically after every flushed
+// cell, so at any kill point the manifest describes a complete prefix
+// of the records file.
+type Manifest struct {
+	Schema   string `json:"schema"`
+	SpecHash string `json:"spec_hash"`
+	// SpecName and Seed reproduce the solo run's summary-table title at
+	// merge time.
+	SpecName string `json:"spec_name,omitempty"`
+	Seed     uint64 `json:"seed"`
+	Shard    int    `json:"shard"`
+	Of       int    `json:"of"`
+	// TotalCells is the whole grid's trial count (all shards together),
+	// letting the merge verify cover without rebuilding the plan.
+	TotalCells int `json:"total_cells"`
+	// Records is the shard's JSONL file, relative to the manifest's
+	// directory (the pair travels together as one artifact).
+	Records string `json:"records"`
+	// NoTiming records whether the wall-time record fields were
+	// stripped; resuming or merging with a mismatched setting would
+	// silently break byte-identity, so it is validated instead.
+	NoTiming bool `json:"no_timing,omitempty"`
+	// Completed lists the global cell indices with a flushed record, in
+	// file line order — line i of Records holds cell Completed[i]. The
+	// writer flushes in ascending cell order, so the list is ascending
+	// and forms a prefix of the shard's plan.
+	Completed []int `json:"completed_cells"`
+}
+
+// Validate checks the manifest's internal consistency.
+func (m Manifest) Validate() error {
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("shard: unknown manifest schema %q (want %q)", m.Schema, ManifestSchema)
+	}
+	if m.Of < 1 || m.Shard < 0 || m.Shard >= m.Of {
+		return fmt.Errorf("shard: manifest names shard %d of %d", m.Shard, m.Of)
+	}
+	if m.TotalCells < 0 || len(m.Completed) > m.TotalCells {
+		return fmt.Errorf("shard: manifest lists %d completed cells of a %d-cell grid",
+			len(m.Completed), m.TotalCells)
+	}
+	if m.Records == "" {
+		return fmt.Errorf("shard: manifest lacks a records path")
+	}
+	for i, g := range m.Completed {
+		if g < 0 || g >= m.TotalCells {
+			return fmt.Errorf("shard: completed cell %d outside the %d-cell grid", g, m.TotalCells)
+		}
+		if g%m.Of != m.Shard {
+			return fmt.Errorf("shard: completed cell %d does not belong to shard %d of %d", g, m.Shard, m.Of)
+		}
+		if i > 0 && g <= m.Completed[i-1] {
+			return fmt.Errorf("shard: completed cells not ascending at index %d (%d after %d)",
+				i, g, m.Completed[i-1])
+		}
+	}
+	return nil
+}
+
+// RecordsPath resolves the records file relative to the manifest's
+// location.
+func (m Manifest) RecordsPath(manifestPath string) string {
+	if filepath.IsAbs(m.Records) {
+		return m.Records
+	}
+	return filepath.Join(filepath.Dir(manifestPath), m.Records)
+}
+
+// WriteManifest writes the manifest atomically: a temp file in the
+// destination directory, synced, then renamed over path. A kill during
+// the write leaves the previous manifest intact, so a checkpoint is
+// always a complete, parseable JSON document.
+func WriteManifest(path string, m Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// ReadManifest parses and validates a manifest file.
+func ReadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("shard: parsing manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, fmt.Errorf("shard: manifest %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// MergeInfo summarizes a successful merge for display and downstream
+// verification.
+type MergeInfo struct {
+	// SpecHash/SpecName/Seed are the (validated-identical) values from
+	// the shard manifests.
+	SpecHash string
+	SpecName string
+	Seed     uint64
+	// Records is the number of lines written; Shards the number of
+	// inputs.
+	Records int
+	Shards  int
+	// NoTiming reports whether the shards ran with wall-time fields
+	// stripped.
+	NoTiming bool
+}
+
+// Merge interleaves shard records files back into global grid order,
+// writing each line verbatim (no re-encoding, so the output is
+// byte-identical to a solo run over the same grid). The inputs are
+// manifest paths — each manifest names its records file — and the set
+// must be exactly one complete sweep: same spec hash, same shard count,
+// every shard present once, and the completed cells covering the grid
+// exactly. Any gap, overlap, or cross-sweep mixture is an error naming
+// the offender, because a silently partial merge would masquerade as a
+// smaller run.
+//
+// Memory is O(shards): one buffered reader and one cursor per shard —
+// shard files are ascending in cell order, so the interleave is a
+// sequential walk of every input.
+func Merge(w io.Writer, manifestPaths []string) (MergeInfo, error) {
+	if len(manifestPaths) == 0 {
+		return MergeInfo{}, fmt.Errorf("shard: merge of zero manifests")
+	}
+	manifests := make([]Manifest, len(manifestPaths))
+	for i, p := range manifestPaths {
+		m, err := ReadManifest(p)
+		if err != nil {
+			return MergeInfo{}, err
+		}
+		manifests[i] = m
+	}
+	ref := manifests[0]
+	if len(manifestPaths) != ref.Of {
+		return MergeInfo{}, fmt.Errorf("shard: %d manifests given for a %d-shard sweep",
+			len(manifestPaths), ref.Of)
+	}
+	// byShard[i] is the input holding shard i; owner[g] the shard of
+	// cell g. Filling both verifies exact cover: no duplicate shards, no
+	// duplicate cells, and (by counting) no gaps.
+	byShard := make([]int, ref.Of)
+	for i := range byShard {
+		byShard[i] = -1
+	}
+	covered := 0
+	for i, m := range manifests {
+		if m.SpecHash != ref.SpecHash {
+			return MergeInfo{}, fmt.Errorf("shard: %s belongs to a different sweep than %s (spec hash mismatch)",
+				manifestPaths[i], manifestPaths[0])
+		}
+		if m.Of != ref.Of || m.TotalCells != ref.TotalCells {
+			return MergeInfo{}, fmt.Errorf("shard: %s is shard %d/%d over %d cells, %s is %d/%d over %d",
+				manifestPaths[i], m.Shard, m.Of, m.TotalCells,
+				manifestPaths[0], ref.Shard, ref.Of, ref.TotalCells)
+		}
+		if m.NoTiming != ref.NoTiming {
+			return MergeInfo{}, fmt.Errorf("shard: %s has no_timing=%v, %s has %v",
+				manifestPaths[i], m.NoTiming, manifestPaths[0], ref.NoTiming)
+		}
+		if byShard[m.Shard] != -1 {
+			return MergeInfo{}, fmt.Errorf("shard: shard %d appears twice (%s and %s)",
+				m.Shard, manifestPaths[byShard[m.Shard]], manifestPaths[i])
+		}
+		byShard[m.Shard] = i
+		covered += len(m.Completed)
+	}
+	if covered != ref.TotalCells {
+		return MergeInfo{}, fmt.Errorf("shard: manifests cover %d of %d cells — a shard is incomplete (resume it from its checkpoint before merging)",
+			covered, ref.TotalCells)
+	}
+
+	readers := make([]*bufio.Reader, len(manifests))
+	cursors := make([]int, len(manifests)) // next index into Completed
+	for i, m := range manifests {
+		f, err := os.Open(m.RecordsPath(manifestPaths[i]))
+		if err != nil {
+			return MergeInfo{}, err
+		}
+		defer f.Close()
+		readers[i] = bufio.NewReaderSize(f, 64*1024)
+	}
+	bw := bufio.NewWriter(w)
+	for g := 0; g < ref.TotalCells; g++ {
+		src := byShard[g%ref.Of]
+		m := manifests[src]
+		if cursors[src] >= len(m.Completed) || m.Completed[cursors[src]] != g {
+			return MergeInfo{}, fmt.Errorf("shard: cell %d missing from shard %d (%s)",
+				g, g%ref.Of, manifestPaths[src])
+		}
+		line, err := readers[src].ReadBytes('\n')
+		if err != nil {
+			return MergeInfo{}, fmt.Errorf("shard: %s line %d (cell %d): %w",
+				manifests[src].Records, cursors[src]+1, g, err)
+		}
+		cursors[src]++
+		if _, err := bw.Write(line); err != nil {
+			return MergeInfo{}, err
+		}
+	}
+	// Trailing content beyond the manifest's claim means the file and
+	// manifest disagree — refuse rather than silently drop lines.
+	for i, r := range readers {
+		if _, err := r.ReadByte(); err != io.EOF {
+			return MergeInfo{}, fmt.Errorf("shard: %s has lines beyond its manifest's %d cells",
+				manifests[i].Records, len(manifests[i].Completed))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return MergeInfo{}, err
+	}
+	return MergeInfo{
+		SpecHash: ref.SpecHash,
+		SpecName: ref.SpecName,
+		Seed:     ref.Seed,
+		Records:  ref.TotalCells,
+		Shards:   ref.Of,
+		NoTiming: ref.NoTiming,
+	}, nil
+}

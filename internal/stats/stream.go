@@ -1,0 +1,326 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream is a mergeable streaming summary: count, mean and variance
+// (Welford/Chan accumulation) plus a fixed-size quantile sketch. It
+// replaces "collect every sample, then Summarize" in aggregation paths
+// that must not hold all records in memory, and it is the unit sweep
+// shards combine: Merge is associative with the zero Stream as identity,
+// so per-shard partials fold into the same whole in any grouping.
+//
+// Exactness contract: Count, Min, Max and the sketch's bucket counts are
+// integer-exact and permutation-insensitive — the same multiset of
+// samples produces the same values however it was split across streams.
+// Mean and variance are mathematically permutation-insensitive but
+// accumulate in floating point, so different merge groupings may differ
+// in the last few ULPs; byte-level determinism contracts therefore feed
+// samples to a single Stream in a canonical order (grid order) rather
+// than relying on bit-equal float merges. Quantiles are exact while the
+// sketch holds at most SketchExactCap samples and bucket-resolution
+// approximations (relative error ≤ 1/SketchSubBuckets) beyond.
+type Stream struct {
+	Count int64
+	// Mean and M2 are Welford accumulators: M2 is the sum of squared
+	// deviations from the running mean.
+	Mean float64
+	M2   float64
+	// Min and Max are meaningful only when Count > 0.
+	Min, Max float64
+	Sketch   QSketch
+}
+
+// Add folds one sample into the stream.
+func (s *Stream) Add(x float64) {
+	s.Count++
+	if s.Count == 1 {
+		s.Min, s.Max = x, x
+	} else {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	delta := x - s.Mean
+	s.Mean += delta / float64(s.Count)
+	s.M2 += delta * (x - s.Mean)
+	s.Sketch.Add(x)
+}
+
+// Merge folds another stream into s (Chan et al. parallel-variance
+// combination). Merging the zero Stream is a no-op, and merge order
+// never changes Count, Min, Max or sketch counts.
+func (s *Stream) Merge(o Stream) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		*s = o
+		s.Sketch = o.Sketch.clone()
+		return
+	}
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	a, b := float64(s.Count), float64(o.Count)
+	total := a + b
+	delta := o.Mean - s.Mean
+	s.Mean += delta * b / total
+	s.M2 += o.M2 + delta*delta*a*b/total
+	s.Count += o.Count
+	s.Sketch.Merge(o.Sketch)
+}
+
+// Std returns the sample standard deviation (n−1 denominator), 0 for
+// fewer than two samples.
+func (s Stream) Std() float64 {
+	if s.Count < 2 {
+		return 0
+	}
+	return math.Sqrt(s.M2 / float64(s.Count-1))
+}
+
+// Quantile returns the q-th quantile estimate from the sketch.
+func (s Stream) Quantile(q float64) float64 { return s.Sketch.Quantile(q) }
+
+// Summary converts the stream into the descriptive-statistics struct the
+// table renderers consume. While the sketch is exact (≤ SketchExactCap
+// samples) the result is identical to Summarize over the same samples,
+// except that Std accumulates by Welford instead of two passes (equal up
+// to float rounding). It panics on an empty stream, like Summarize.
+func (s Stream) Summary() Summary {
+	if s.Count == 0 {
+		panic("stats: Summary of empty stream")
+	}
+	return Summary{
+		N:      int(s.Count),
+		Mean:   s.Mean,
+		Std:    s.Std(),
+		Min:    s.Min,
+		Max:    s.Max,
+		Median: s.Quantile(0.5),
+	}
+}
+
+// Sketch geometry. Up to SketchExactCap samples the sketch stores the
+// sorted multiset and quantiles are exact; past that it collapses into
+// log-linear buckets — SketchSubBuckets per power of two — whose counts
+// depend only on the sample multiset, making Merge exactly associative
+// and permutation-insensitive in both modes. Bucketed quantiles carry a
+// relative error of at most 1/SketchSubBuckets.
+const (
+	SketchExactCap   = 256
+	SketchSubBuckets = 16
+	// sketchExpBias shifts math.Frexp exponents (≥ −1073 for subnormals)
+	// to positive bucket keys; key 0 is reserved for the value 0.
+	sketchExpBias = 1100
+)
+
+// QSketch is a fixed-size mergeable quantile sketch. The zero QSketch is
+// empty and ready to use.
+type QSketch struct {
+	// exact holds the sorted samples while the sketch is exact; buckets
+	// holds log-linear bucket counts once collapsed. Exactly one of the
+	// two representations is active (buckets == nil means exact).
+	exact   []float64
+	buckets map[int]int64
+	n       int64
+}
+
+// N returns the number of samples added.
+func (q QSketch) N() int64 { return q.n }
+
+// Collapsed reports whether the sketch has switched from exact storage
+// to bucket counts.
+func (q QSketch) Collapsed() bool { return q.buckets != nil }
+
+// clone returns a deep copy (Merge must not alias the source's storage).
+func (q QSketch) clone() QSketch {
+	out := QSketch{n: q.n}
+	if q.buckets != nil {
+		out.buckets = make(map[int]int64, len(q.buckets))
+		for k, v := range q.buckets {
+			out.buckets[k] = v
+		}
+		return out
+	}
+	out.exact = append([]float64(nil), q.exact...)
+	return out
+}
+
+// Add inserts one sample.
+func (q *QSketch) Add(x float64) {
+	q.n++
+	if q.buckets != nil {
+		q.buckets[bucketKey(x)]++
+		return
+	}
+	if len(q.exact) >= SketchExactCap {
+		q.collapse()
+		q.buckets[bucketKey(x)]++
+		return
+	}
+	i := sort.SearchFloat64s(q.exact, x)
+	q.exact = append(q.exact, 0)
+	copy(q.exact[i+1:], q.exact[i:])
+	q.exact[i] = x
+}
+
+// collapse converts exact storage into bucket counts. Bucketing is
+// per-value, so collapse-then-add and add-then-collapse produce the same
+// counts — the property that keeps Merge associative across the mode
+// switch.
+func (q *QSketch) collapse() {
+	q.buckets = make(map[int]int64, len(q.exact))
+	for _, x := range q.exact {
+		q.buckets[bucketKey(x)]++
+	}
+	q.exact = nil
+}
+
+// Merge folds another sketch into q. The result stays exact only while
+// the combined sample count fits the exact capacity.
+func (q *QSketch) Merge(o QSketch) {
+	if o.n == 0 {
+		return
+	}
+	if q.n == 0 {
+		*q = o.clone()
+		return
+	}
+	if q.buckets == nil && o.buckets == nil && len(q.exact)+len(o.exact) <= SketchExactCap {
+		merged := make([]float64, 0, len(q.exact)+len(o.exact))
+		i, j := 0, 0
+		for i < len(q.exact) && j < len(o.exact) {
+			if q.exact[i] <= o.exact[j] {
+				merged = append(merged, q.exact[i])
+				i++
+			} else {
+				merged = append(merged, o.exact[j])
+				j++
+			}
+		}
+		merged = append(merged, q.exact[i:]...)
+		merged = append(merged, o.exact[j:]...)
+		q.exact = merged
+		q.n += o.n
+		return
+	}
+	if q.buckets == nil {
+		q.collapse()
+	}
+	if o.buckets != nil {
+		for k, c := range o.buckets {
+			q.buckets[k] += c
+		}
+	} else {
+		for _, x := range o.exact {
+			q.buckets[bucketKey(x)]++
+		}
+	}
+	q.n += o.n
+}
+
+// Quantile returns the q-th quantile (0 ≤ p ≤ 1): exact (linear
+// interpolation between order statistics, matching Quantile) while the
+// sketch is exact, a within-bucket interpolation after collapse. It
+// panics on an empty sketch or p outside [0, 1].
+func (q QSketch) Quantile(p float64) float64 {
+	if q.n == 0 {
+		panic("stats: Quantile of empty sketch")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", p))
+	}
+	if q.buckets == nil {
+		if len(q.exact) == 1 {
+			return q.exact[0]
+		}
+		pos := p * float64(len(q.exact)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			return q.exact[lo]
+		}
+		frac := pos - float64(lo)
+		return q.exact[lo]*(1-frac) + q.exact[hi]*frac
+	}
+	keys := make([]int, 0, len(q.buckets))
+	for k := range q.buckets {
+		keys = append(keys, k)
+	}
+	// Mirrored negative keys sort below 0 below positive keys, in value
+	// order, so an integer sort walks buckets in ascending sample order.
+	sort.Ints(keys)
+	rank := p * float64(q.n-1)
+	var cum int64
+	for _, k := range keys {
+		cnt := q.buckets[k]
+		if rank < float64(cum+cnt) || k == keys[len(keys)-1] {
+			lo, hi := bucketBounds(k)
+			frac := (rank - float64(cum)) / float64(cnt)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += cnt
+	}
+	panic("stats: unreachable sketch quantile") // cum covers q.n
+}
+
+// bucketKey maps a sample to its log-linear bucket: 0 for 0, positive
+// keys for positive values (SketchSubBuckets per octave), mirrored
+// negative keys for negative values. Per-value and stateless, which is
+// what makes bucket counts a pure function of the sample multiset.
+func bucketKey(v float64) int {
+	if v == 0 {
+		return 0
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	frac, exp := math.Frexp(v) // v = frac·2^exp, frac ∈ [0.5, 1)
+	sub := int((frac*2 - 1) * SketchSubBuckets)
+	if sub >= SketchSubBuckets {
+		sub = SketchSubBuckets - 1
+	}
+	k := (exp+sketchExpBias)*SketchSubBuckets + sub + 1
+	if neg {
+		return -k
+	}
+	return k
+}
+
+// bucketBounds returns the value interval [lo, hi) bucket k covers.
+func bucketBounds(k int) (lo, hi float64) {
+	if k == 0 {
+		return 0, 0
+	}
+	neg := k < 0
+	if neg {
+		k = -k
+	}
+	idx := k - 1
+	exp := idx/SketchSubBuckets - sketchExpBias
+	sub := idx % SketchSubBuckets
+	lo = math.Ldexp(1+float64(sub)/SketchSubBuckets, exp-1)
+	hi = math.Ldexp(1+float64(sub+1)/SketchSubBuckets, exp-1)
+	if neg {
+		return -hi, -lo
+	}
+	return lo, hi
+}

@@ -292,41 +292,68 @@ func Trials(tasks []Task) int {
 	return total
 }
 
+// CellCount returns the number of grid cells — tasks the spec's Build
+// would materialize — without constructing any graph or scheduler. The
+// trial grid a shard planner partitions has CellCount()·Trials entries.
+func (s Spec) CellCount() int {
+	return len(s.GraphSpecs()) * len(s.schedulers()) * len(s.Protocols) * len(s.dropRates())
+}
+
+// TrialRecord converts one trial's outcome into its results record. The
+// record is a pure function of (task, trial, outcome) — apart from the
+// two trailing wall-time fields, the records' only host-dependent
+// content, which determinism comparisons normalize out — so a trial
+// produces the same record bytes whether it ran in a solo sweep or on a
+// remote shard.
+func TrialRecord(t Task, trial int, o runner.Outcome) results.Record {
+	return results.Record{
+		Graph:       t.Graph.Name(),
+		N:           t.Graph.N(),
+		M:           t.Graph.M(),
+		Scheduler:   t.Scheduler,
+		Protocol:    t.Protocol,
+		Trial:       trial,
+		Seed:        t.Jobs[trial].Seed,
+		DropRate:    t.DropRate,
+		Steps:       o.Result.Steps,
+		Stabilized:  o.Result.Stabilized,
+		Leader:      o.Result.Leader,
+		Backup:      o.Backup,
+		Error:       o.Err,
+		ElapsedNs:   o.ElapsedNs,
+		QueueWaitNs: o.QueueWaitNs,
+	}
+}
+
 // Execute runs every task's trials through one shared pool (so the whole
 // grid saturates the workers, not one cell at a time) and returns one
 // record per trial in grid order — deterministic for any worker count.
 func Execute(tasks []Task, pool runner.Pool) []results.Record {
+	recs := make([]results.Record, 0, Trials(tasks))
+	ExecuteStream(tasks, pool, func(rec results.Record) {
+		recs = append(recs, rec)
+	})
+	return recs
+}
+
+// ExecuteStream runs the grid like Execute but delivers each record to
+// emit — on a single goroutine, in grid order, as soon as the trial and
+// all its predecessors finish — instead of collecting them. Streaming
+// consumers (the JSONL writer, the aggregate accumulator, shard
+// checkpoints) see the exact record sequence Execute would return
+// without anyone holding the whole batch in memory.
+func ExecuteStream(tasks []Task, pool runner.Pool, emit func(results.Record)) {
 	var jobs []runner.Job
-	for _, t := range tasks {
-		jobs = append(jobs, t.Jobs...)
-	}
-	outs := pool.Run(jobs)
-	recs := make([]results.Record, 0, len(jobs))
-	i := 0
-	for _, t := range tasks {
-		for trial := range t.Jobs {
-			o := outs[i]
-			recs = append(recs, results.Record{
-				Graph:      t.Graph.Name(),
-				N:          t.Graph.N(),
-				M:          t.Graph.M(),
-				Scheduler:  t.Scheduler,
-				Protocol:   t.Protocol,
-				Trial:      trial,
-				Seed:       t.Jobs[trial].Seed,
-				DropRate:   t.DropRate,
-				Steps:      o.Result.Steps,
-				Stabilized: o.Result.Stabilized,
-				Leader:     o.Result.Leader,
-				Backup:     o.Backup,
-				Error:      o.Err,
-				// Wall-time fields are the records' only host-dependent
-				// content; determinism comparisons normalize them out.
-				ElapsedNs:   o.ElapsedNs,
-				QueueWaitNs: o.QueueWaitNs,
-			})
-			i++
+	// taskOf/trialOf map the flat job index back to its grid cell.
+	var taskOf, trialOf []int
+	for ti := range tasks {
+		for trial := range tasks[ti].Jobs {
+			jobs = append(jobs, tasks[ti].Jobs[trial])
+			taskOf = append(taskOf, ti)
+			trialOf = append(trialOf, trial)
 		}
 	}
-	return recs
+	pool.Stream(jobs, func(i int, o runner.Outcome) {
+		emit(TrialRecord(tasks[taskOf[i]], trialOf[i], o))
+	})
 }
