@@ -43,8 +43,11 @@ import (
 // fast-vs-reference comparison; v4 added the protocol-compilation axis:
 // the per-cell protocol engine name ("table" for fused transition-table
 // kernels, "step" for interface dispatch), the interface-dispatch
-// timing and the table-vs-interface speedup.
-const Schema = "popgraph-bench/v4"
+// timing and the table-vs-interface speedup; v5 added the batch axis:
+// per-cell lockstep batched timing (replicate trials executed as one
+// structure-of-arrays unit), the batched-vs-solo speedup and the
+// report-level max.
+const Schema = "popgraph-bench/v5"
 
 // Config is one grid cell: a graph, scheduler and protocol spec with
 // the trial shape. Steps caps every trial, so cells are timed over
@@ -60,6 +63,11 @@ type Config struct {
 	Drop   float64 `json:"drop,omitempty"`
 	Steps  int64   `json:"steps"`
 	Trials int     `json:"trials"`
+	// Batch is the lockstep batch width: when > 1 and the cell's plan has
+	// a lockstep kernel, the cell is additionally timed running Batch
+	// replicate trials as one structure-of-arrays unit per repetition.
+	// 0 or 1 skips the batch axis for the cell.
+	Batch int `json:"batch,omitempty"`
 }
 
 // EngineStats is the timing of one engine on one cell.
@@ -113,6 +121,19 @@ type Measurement struct {
 	// protocol-compilation win; exactly 1 on "step" cells.
 	Speedup      float64 `json:"speedup"`
 	TableSpeedup float64 `json:"table_speedup"`
+	// BatchEngine is the batch execution the cell's plan selects for its
+	// protocol: "lockstep" when RunBatch runs on the structure-of-arrays
+	// kernel, "solo" when batches fall back to sequential solo runs
+	// (sim.ExecPlan.BatchEngine). Batch, Batched and BatchSpeedup are
+	// present only on lockstep cells timed with a Config.Batch > 1:
+	// Batched times Trials repetitions of a Batch-lane lockstep unit
+	// (ns/step over the lanes' summed steps; BestNsPerStep the fastest
+	// repetition), and BatchSpeedup is solo specialized ns/step divided
+	// by batched ns/step — the pure replicate-throughput win.
+	BatchEngine  string       `json:"batch_engine"`
+	Batch        int          `json:"batch,omitempty"`
+	Batched      *EngineStats `json:"batched,omitempty"`
+	BatchSpeedup float64      `json:"batch_speedup,omitempty"`
 }
 
 // key identifies a cell for baseline comparison.
@@ -131,8 +152,11 @@ type Report struct {
 	// the single number the perf trajectory tracks; MaxTableSpeedup is
 	// the best table-over-interface ratio, tracking the protocol-
 	// compilation axis the same way.
-	MaxSpeedup      float64       `json:"max_speedup"`
-	MaxTableSpeedup float64       `json:"max_table_speedup"`
+	MaxSpeedup      float64 `json:"max_speedup"`
+	MaxTableSpeedup float64 `json:"max_table_speedup"`
+	// MaxBatchSpeedup is the best batched-over-solo ratio among the cells
+	// timed on the batch axis; 0 when the grid timed none.
+	MaxBatchSpeedup float64       `json:"max_batch_speedup,omitempty"`
 	Results         []Measurement `json:"results"`
 }
 
@@ -145,8 +169,24 @@ type Report struct {
 // covering the in-kernel drop fast path; and a protocol dimension — the
 // four-state majority cell, the second Tabular protocol, so the
 // table-vs-interface axis is gated on more than one transition table.
-// quick shrinks the work for smoke tests.
+// Every cell carries the default batch width: lockstep-capable cells
+// (uniform and weighted plans with table protocols) get a batched
+// timing and a batched-vs-solo speedup, the rest record batch_engine
+// "solo" and skip the axis. quick shrinks the work for smoke tests.
 func DefaultGrid(quick bool) []Config {
+	cfgs := defaultGridCells(quick)
+	for i := range cfgs {
+		cfgs[i].Batch = DefaultBatch
+	}
+	return cfgs
+}
+
+// DefaultBatch is the grid's lockstep batch width: eight lanes saturate
+// the dependency-chain overlap the batch kernels exist for while the
+// eight SoA state columns of the largest grid graphs stay L1-resident.
+const DefaultBatch = 8
+
+func defaultGridCells(quick bool) []Config {
 	steps, trials := int64(1<<21), 3
 	if quick {
 		// Still smoke-fast (seconds), but big enough that ns/step
@@ -157,6 +197,18 @@ func DefaultGrid(quick bool) []Config {
 		// lands on a quiet scheduler slice even on busy machines.
 		steps, trials = 1<<18, 6
 	}
+	// Replicate-heavy cells: hundreds of short trials on small graphs,
+	// the regime the lockstep batch engine exists for. Per-trial
+	// dispatch and compile overhead rivals the kernel time there, and
+	// one batched unit pays it once per Batch lanes. Distinct graph
+	// sizes keep these cells' keys from colliding with the long-trial
+	// cells of the same family. The quick grid keeps the full grid's
+	// trial length: on short trials ns/step includes the per-trial
+	// overhead, so shrinking the trials would shift the statistic and
+	// break the -compare gate against the committed full-grid baseline
+	// — and at ~1ms of kernel time per engine the cells need no
+	// shrinking to stay smoke-fast.
+	const repSteps, repTrials = int64(1 << 10), 256
 	return []Config{
 		{GraphSpec: "clique:1024", Protocol: "six-state", Steps: steps, Trials: trials},
 		{GraphSpec: "torus:32x32", Protocol: "six-state", Steps: steps, Trials: trials},
@@ -170,6 +222,8 @@ func DefaultGrid(quick bool) []Config {
 		{GraphSpec: "torus:32x32", Protocol: "six-state", Drop: 0.1, Steps: steps, Trials: trials},
 		{GraphSpec: "torus:32x32", Scheduler: "weighted:exp", Protocol: "six-state", Drop: 0.1, Steps: steps, Trials: trials},
 		{GraphSpec: "torus:32x32", Protocol: "majority:0.75", Steps: steps, Trials: trials},
+		{GraphSpec: "torus:16x16", Protocol: "six-state", Steps: repSteps, Trials: repTrials},
+		{GraphSpec: "hypercube:8", Protocol: "six-state", Steps: repSteps, Trials: repTrials},
 	}
 }
 
@@ -205,12 +259,19 @@ func RunMetered(cfgs []Config, seed uint64, logf func(format string, args ...int
 		if m.TableSpeedup > rep.MaxTableSpeedup {
 			rep.MaxTableSpeedup = m.TableSpeedup
 		}
+		if m.BatchSpeedup > rep.MaxBatchSpeedup {
+			rep.MaxBatchSpeedup = m.BatchSpeedup
+		}
 		rep.Results = append(rep.Results, m)
 		if logf != nil {
-			logf("bench: %-16s × %-12s × %-18s × drop %.2g  [%s/%s]  specialized %6.2f ns/step  interface %6.2f  generic %6.2f  speedup %.2fx  table %.2fx",
+			batch := "—"
+			if m.Batched != nil {
+				batch = fmt.Sprintf("%.2fx", m.BatchSpeedup)
+			}
+			logf("bench: %-16s × %-12s × %-18s × drop %.2g  [%s/%s]  specialized %6.2f ns/step  interface %6.2f  generic %6.2f  speedup %.2fx  table %.2fx  batch %s",
 				m.Graph, m.Scheduler, m.Protocol, m.Drop, m.Engine, m.ProtocolEngine,
 				m.Specialized.NsPerStep, m.Interface.NsPerStep, m.Generic.NsPerStep,
-				m.Speedup, m.TableSpeedup)
+				m.Speedup, m.TableSpeedup, batch)
 		}
 	}
 	return rep, nil
@@ -290,6 +351,22 @@ func measure(cfg Config, seed uint64, meter *telemetry.Counters) (Measurement, e
 		m.Speedup = gen.NsPerStep / spec.NsPerStep
 		m.TableSpeedup = iface.NsPerStep / spec.NsPerStep
 	}
+	// The batch axis: time Batch replicate trials as one lockstep unit
+	// per repetition, on cells whose plan actually has a lockstep kernel
+	// for the protocol. Fallback cells record batch_engine "solo" and no
+	// batched timing — the fallback IS the solo path already timed above.
+	m.BatchEngine = plan.BatchEngine(factory())
+	if cfg.Batch > 1 && m.BatchEngine == "lockstep" {
+		m.Batch = cfg.Batch
+		batched, err := timeBatched(g, factory, seed, cfg, opts, meter)
+		if err != nil {
+			return Measurement{}, err
+		}
+		m.Batched = &batched
+		if batched.NsPerStep > 0 {
+			m.BatchSpeedup = spec.NsPerStep / batched.NsPerStep
+		}
+	}
 	return m, nil
 }
 
@@ -342,6 +419,70 @@ func timeEngine(g popgraph.Graph, factory func() popgraph.Protocol, seed uint64,
 	}, nil
 }
 
+// timeBatched times cfg.Trials repetitions of one Batch-lane lockstep
+// unit each, through the same single-worker pool as the solo engines so
+// the ratio is a pure execution-mode comparison. Per repetition the
+// statistic is unit wall time over the lanes' summed steps; the minimum
+// repetition survives as BestNsPerStep for the regression gate. A
+// warmup unit runs first, untimed.
+func timeBatched(g popgraph.Graph, factory func() popgraph.Protocol, seed uint64,
+	cfg Config, opts sim.Options, meter *telemetry.Counters) (EngineStats, error) {
+	warm := opts
+	warm.MaxSteps = cfg.Steps / 8
+	if warm.MaxSteps < 1 {
+		warm.MaxSteps = 1
+	}
+	pool := runner.Pool{Workers: 1, Meter: meter}
+	pool.RunBatched(batchJobs(g, factory, seed, 0, cfg.Batch, warm), cfg.Batch, nil)
+
+	var (
+		steps   int64
+		totalNs float64
+		bestNs  float64
+	)
+	for rep := 1; rep <= cfg.Trials; rep++ {
+		jobs := batchJobs(g, factory, seed, rep*cfg.Batch, cfg.Batch, opts)
+		start := time.Now()
+		outs := pool.RunBatched(jobs, cfg.Batch, nil)
+		elapsed := float64(time.Since(start).Nanoseconds())
+		var repSteps int64
+		for _, o := range outs {
+			if o.Failed() {
+				return EngineStats{}, fmt.Errorf("batched trial crashed: %s", o.Err)
+			}
+			repSteps += o.Result.Steps
+		}
+		if repSteps > 0 {
+			if ns := elapsed / float64(repSteps); bestNs == 0 || ns < bestNs {
+				bestNs = ns
+			}
+		}
+		steps += repSteps
+		totalNs += elapsed
+	}
+	if steps == 0 {
+		return EngineStats{}, fmt.Errorf("no interactions executed")
+	}
+	return EngineStats{
+		Steps:         steps,
+		NsPerStep:     totalNs / float64(steps),
+		StepsPerSec:   float64(steps) / (totalNs / 1e9),
+		BestNsPerStep: bestNs,
+	}, nil
+}
+
+// batchJobs builds one lockstep unit: lane l of the unit whose first
+// trial is global index off gets the seed of solo trial off+l, so the
+// batched timing runs the exact trial population a solo sweep would.
+func batchJobs(g popgraph.Graph, factory func() popgraph.Protocol, seed uint64,
+	off, width int, opts sim.Options) []runner.Job {
+	jobs := make([]runner.Job, width)
+	for l := range jobs {
+		jobs[l] = runner.Job{Graph: g, New: factory, Seed: runner.SeedFor(seed, off+l), Opts: opts}
+	}
+	return jobs
+}
+
 // gateNs is the statistic the regression gate and the delta table run
 // on: best-trial specialized ns/step, falling back to the aggregate for
 // hand-edited baselines that lack the best-of-trials field.
@@ -365,6 +506,9 @@ type CellDelta struct {
 	// Delta is CurNs/BaseNs − 1 (negative = faster); meaningful only
 	// for matched cells.
 	Delta float64
+	// BatchSpeedup is the current report's batched-over-solo ratio for
+	// the cell; 0 when the cell was not timed on the batch axis.
+	BatchSpeedup float64
 	// Status classifies the row: "ok", "regressed" (Delta beyond the
 	// tolerance), "new" (no baseline cell) or "removed" (no current
 	// cell).
@@ -393,6 +537,7 @@ func DeltaTable(cur, base Report, tol float64) []CellDelta {
 			Engine:         m.Engine,
 			ProtocolEngine: m.ProtocolEngine,
 			CurNs:          gateNs(m.Specialized),
+			BatchSpeedup:   m.BatchSpeedup,
 		}
 		row.Status = "new"
 		if b, ok := baseline[m.key()]; ok {
@@ -435,10 +580,10 @@ func WriteDeltaMarkdown(w io.Writer, rows []CellDelta, tol float64) error {
 	if _, err := fmt.Fprintf(w, "### bench -compare deltas (tolerance %.0f%%)\n\n", 100*tol); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(w, "| graph | scheduler | protocol | drop | engine | base ns/step | cur ns/step | delta | status |"); err != nil {
+	if _, err := fmt.Fprintln(w, "| graph | scheduler | protocol | drop | engine | base ns/step | cur ns/step | delta | batch | status |"); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(w, "| --- | --- | --- | --- | --- | --- | --- | --- | --- |"); err != nil {
+	if _, err := fmt.Fprintln(w, "| --- | --- | --- | --- | --- | --- | --- | --- | --- | --- |"); err != nil {
 		return err
 	}
 	fmtNs := func(v float64) string {
@@ -452,13 +597,17 @@ func WriteDeltaMarkdown(w io.Writer, rows []CellDelta, tol float64) error {
 		if r.Status == "ok" || r.Status == "regressed" {
 			delta = fmt.Sprintf("%+.1f%%", 100*r.Delta)
 		}
+		batch := "—"
+		if r.BatchSpeedup > 0 {
+			batch = fmt.Sprintf("%.2fx", r.BatchSpeedup)
+		}
 		status := r.Status
 		if status == "regressed" {
 			status = "**regressed**"
 		}
-		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %g | %s/%s | %s | %s | %s | %s |\n",
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %g | %s/%s | %s | %s | %s | %s | %s |\n",
 			r.GraphSpec, r.Scheduler, r.Protocol, r.Drop, r.Engine, r.ProtocolEngine,
-			fmtNs(r.BaseNs), fmtNs(r.CurNs), delta, status); err != nil {
+			fmtNs(r.BaseNs), fmtNs(r.CurNs), delta, batch, status); err != nil {
 			return err
 		}
 	}
@@ -503,7 +652,11 @@ func WriteTelemetryMarkdown(w io.Writer, s telemetry.Snapshot) error {
 // statistic because minima are far more stable than means under
 // machine noise; reports from producers predating the field fall back
 // to the aggregate. Cells are matched on graph spec × scheduler ×
-// protocol; individual cells present on only one side are skipped —
+// protocol; when both sides carry batched lockstep timings at the same
+// width, the batched best-trial ns/step is gated at the same tolerance
+// as a separate check, so a lockstep-only slowdown cannot hide behind
+// healthy solo numbers. Individual cells present on only one side are
+// skipped —
 // new grid cells have no baseline and removed ones no current
 // measurement — but if *no* cell matches at all (a grid or spec rename
 // without a regenerated baseline), that is itself reported, so the
@@ -528,6 +681,21 @@ func Compare(cur, base Report, tol float64) []string {
 				"%s × %s × %s × drop %g: specialized %.2f ns/step vs baseline %.2f (+%.0f%%, tolerance %.0f%%)",
 				m.GraphSpec, m.Scheduler, m.Protocol, m.Drop,
 				curNs, baseNs, 100*(curNs/baseNs-1), 100*tol))
+		}
+		// The batched lockstep engine is gated independently of the solo
+		// kernels: its throughput comes from lane interleaving and table
+		// sharing, which a solo-only gate would never notice regressing.
+		// Only cells batched on both sides compare — a baseline predating
+		// the batch axis (or a cell whose width changed) has nothing
+		// commensurable to gate against.
+		if m.Batched != nil && b.Batched != nil && b.Batch == m.Batch {
+			curB, baseB := gateNs(*m.Batched), gateNs(*b.Batched)
+			if baseB > 0 && curB > baseB*(1+tol) {
+				msgs = append(msgs, fmt.Sprintf(
+					"%s × %s × %s × drop %g: batched(%d) %.2f ns/step vs baseline %.2f (+%.0f%%, tolerance %.0f%%)",
+					m.GraphSpec, m.Scheduler, m.Protocol, m.Drop, m.Batch,
+					curB, baseB, 100*(curB/baseB-1), 100*tol))
+			}
 		}
 	}
 	if matched == 0 && len(cur.Results) > 0 {

@@ -267,7 +267,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		`"schema": "popgraph-bench/v4"`, `"steps_per_sec"`, `"ns_per_step"`,
+		`"schema": "popgraph-bench/v5"`, `"steps_per_sec"`, `"ns_per_step"`,
 		`"speedup"`, `"max_speedup"`, `"clique-32"`, `"scheduler": "uniform"`,
 		`"engine": "clique-uniform"`, `"protocol_engine": "table"`,
 		`"interface"`, `"table_speedup"`, `"max_table_speedup"`,
@@ -293,10 +293,18 @@ func TestDefaultGrid(t *testing.T) {
 	if len(full) != len(quick) || len(full) == 0 {
 		t.Fatalf("grid sizes %d, %d", len(full), len(quick))
 	}
-	sixState, dropCells, majorityCells := 0, 0, 0
+	// Per cell the quick grid may only shrink the step budget; cells
+	// where ns/step depends on trial length (the replicate-heavy short
+	// trials) keep it unchanged so the -compare statistic stays
+	// comparable to the full-grid baseline. In aggregate the quick grid
+	// must still be strictly smaller.
+	sixState, dropCells, majorityCells, shrunk := 0, 0, 0, 0
 	for i := range full {
-		if full[i].Steps <= quick[i].Steps {
-			t.Fatalf("quick grid not smaller: %+v vs %+v", full[i], quick[i])
+		if full[i].Steps < quick[i].Steps {
+			t.Fatalf("quick grid larger: %+v vs %+v", full[i], quick[i])
+		}
+		if quick[i].Steps < full[i].Steps {
+			shrunk++
 		}
 		if full[i].Protocol == "six-state" {
 			sixState++
@@ -316,5 +324,95 @@ func TestDefaultGrid(t *testing.T) {
 	}
 	if majorityCells < 1 {
 		t.Fatal("default grid lost its majority cell; the second transition table must stay gated")
+	}
+	if shrunk == 0 {
+		t.Fatal("quick grid shrinks no cell; it would be as slow as the full grid")
+	}
+	for i := range full {
+		if full[i].Batch != DefaultBatch || quick[i].Batch != DefaultBatch {
+			t.Fatalf("cell %d batch width %d/%d, want %d", i, full[i].Batch, quick[i].Batch, DefaultBatch)
+		}
+	}
+}
+
+// TestRunBatchAxis — cells whose plan supports lockstep batching carry
+// a batched timing and a batched-over-solo ratio; plans the batch
+// compiler rejects (node-clock, non-tabular protocols) record the
+// "solo" engine with no batched stats, and Batch <= 1 disables the
+// axis entirely.
+func TestRunBatchAxis(t *testing.T) {
+	cfgs := []Config{
+		{GraphSpec: "clique:64", Protocol: "six-state", Steps: 1 << 12, Trials: 2, Batch: 4},
+		{GraphSpec: "torus:8x8", Scheduler: "node-clock", Protocol: "six-state", Steps: 1 << 12, Trials: 2, Batch: 4},
+		{GraphSpec: "clique:64", Protocol: "identifier", Steps: 1 << 12, Trials: 2, Batch: 4},
+		{GraphSpec: "clique:64", Protocol: "six-state", Steps: 1 << 12, Trials: 2, Batch: 1},
+	}
+	rep, err := Run(cfgs, 13, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockstep := rep.Results[0]
+	if lockstep.BatchEngine != "lockstep" || lockstep.Batch != 4 || lockstep.Batched == nil {
+		t.Fatalf("batchable cell missing batched stats: %+v", lockstep)
+	}
+	if lockstep.Batched.Steps <= 0 || lockstep.Batched.NsPerStep <= 0 || lockstep.Batched.BestNsPerStep <= 0 {
+		t.Fatalf("degenerate batched stats %+v", *lockstep.Batched)
+	}
+	if lockstep.BatchSpeedup <= 0 {
+		t.Fatalf("batch speedup %v", lockstep.BatchSpeedup)
+	}
+	if rep.MaxBatchSpeedup < lockstep.BatchSpeedup {
+		t.Fatalf("max batch speedup %v below cell %v", rep.MaxBatchSpeedup, lockstep.BatchSpeedup)
+	}
+	for i, m := range rep.Results[1:3] {
+		if m.BatchEngine != "solo" || m.Batched != nil || m.BatchSpeedup != 0 || m.Batch != 0 {
+			t.Fatalf("unbatchable cell %d grew batched stats: %+v", i+1, m)
+		}
+	}
+	off := rep.Results[3]
+	if off.Batched != nil || off.BatchSpeedup != 0 || off.Batch != 0 {
+		t.Fatalf("batch<=1 cell still timed the batch axis: %+v", off)
+	}
+}
+
+// TestCompareBatchedGate — the batched best-trial ns/step gates
+// independently of the solo statistic, and only when both sides were
+// batched at the same width.
+func TestCompareBatchedGate(t *testing.T) {
+	cell := func(soloNs, batchNs float64, width int) Measurement {
+		m := Measurement{
+			GraphSpec: "clique:64", Scheduler: "uniform", Protocol: "six-state",
+			Specialized: EngineStats{Steps: 1, NsPerStep: soloNs, BestNsPerStep: soloNs},
+		}
+		if batchNs > 0 {
+			m.Batch = width
+			m.Batched = &EngineStats{Steps: 1, NsPerStep: batchNs, BestNsPerStep: batchNs}
+		}
+		return m
+	}
+	base := Report{Results: []Measurement{cell(10, 5, 8)}}
+
+	// Solo holds the line but batched regresses 2x: one distinct message.
+	msgs := Compare(Report{Results: []Measurement{cell(10, 10, 8)}}, base, 0.30)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "batched(8)") {
+		t.Fatalf("batched regression not gated: %v", msgs)
+	}
+	// Both inside tolerance: clean.
+	if msgs := Compare(Report{Results: []Measurement{cell(11, 6, 8)}}, base, 0.30); len(msgs) != 0 {
+		t.Fatalf("healthy batched cell regressed: %v", msgs)
+	}
+	// Width changed: the batched numbers are not commensurable, skip.
+	if msgs := Compare(Report{Results: []Measurement{cell(10, 50, 16)}}, base, 0.30); len(msgs) != 0 {
+		t.Fatalf("cross-width batched gate fired: %v", msgs)
+	}
+	// Baseline predates the batch axis: solo-only gating.
+	old := Report{Results: []Measurement{cell(10, 0, 0)}}
+	if msgs := Compare(Report{Results: []Measurement{cell(10, 99, 8)}}, old, 0.30); len(msgs) != 0 {
+		t.Fatalf("gate fired against a batchless baseline: %v", msgs)
+	}
+	// Both regress: two messages, solo and batched named separately.
+	msgs = Compare(Report{Results: []Measurement{cell(20, 10, 8)}}, base, 0.30)
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages, want 2 (solo + batched): %v", len(msgs), msgs)
 	}
 }

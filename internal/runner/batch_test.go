@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/star"
+	"popgraph/internal/sim"
+	"popgraph/internal/telemetry"
+)
+
+// TestStreamBatchedMatchesStream — the batched scheduler must deliver,
+// for every worker count and batch width (dividing the group size or
+// not), the same deterministic outcomes as Stream, in strictly
+// ascending job order on one goroutine.
+func TestStreamBatchedMatchesStream(t *testing.T) {
+	g := graph.NewClique(12)
+	jobs := TrialJobs(g, factory, 99, 20, sim.Options{})
+	want := Pool{Workers: 1}.Run(jobs)
+	for _, workers := range []int{1, 4} {
+		for _, batch := range []int{2, 7, 8, 64} {
+			nextIdx := 0
+			Pool{Workers: workers}.StreamBatched(jobs, batch, nil, func(i int, o Outcome) {
+				if i != nextIdx {
+					t.Fatalf("workers=%d batch=%d: emitted job %d, want %d", workers, batch, i, nextIdx)
+				}
+				nextIdx++
+				if !o.Same(want[i]) {
+					t.Fatalf("workers=%d batch=%d: job %d outcome %+v, solo %+v", workers, batch, i, o, want[i])
+				}
+			})
+			if nextIdx != len(jobs) {
+				t.Fatalf("workers=%d batch=%d: %d of %d outcomes delivered", workers, batch, nextIdx, len(jobs))
+			}
+		}
+	}
+}
+
+// TestStreamBatchedGroupBoundaries — units never merge jobs whose group
+// values differ, so a two-family job list (different graphs back to
+// back) runs each family on its own plan and every outcome matches its
+// solo run.
+func TestStreamBatchedGroupBoundaries(t *testing.T) {
+	a := graph.NewClique(10)
+	b := graph.NewClique(16)
+	jobs := append(TrialJobs(a, factory, 5, 5, sim.Options{}),
+		TrialJobs(b, factory, 6, 5, sim.Options{})...)
+	want := Pool{Workers: 1}.Run(jobs)
+	got := Pool{Workers: 2}.RunBatched(jobs, 8, func(i int) int { return i / 5 })
+	for i := range want {
+		if !got[i].Same(want[i]) {
+			t.Fatalf("job %d: batched %+v, solo %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunBatchedCrashIsolation — a lane panicking at Reset (star
+// protocol on a clique) fails its own trial with the solo panic message
+// while the rest of its unit completes.
+func TestRunBatchedCrashIsolation(t *testing.T) {
+	clique := graph.NewClique(8)
+	jobs := []Job{
+		{Graph: clique, New: factory, Seed: 1},
+		{Graph: clique, New: func() sim.Protocol { return star.New() }, Seed: 2},
+		{Graph: clique, New: factory, Seed: 3},
+	}
+	want := Pool{Workers: 1}.Run(jobs)
+	got := Pool{Workers: 1}.RunBatched(jobs, 3, nil)
+	for i := range want {
+		if !got[i].Same(want[i]) {
+			t.Fatalf("job %d: batched %+v, solo %+v", i, got[i], want[i])
+		}
+	}
+	if !got[1].Failed() || got[1].Err == "" {
+		t.Fatalf("crashed lane outcome %+v, want Failed", got[1])
+	}
+}
+
+// TestRunBatchedSurfacesCompileErrors — a misconfigured unit fails every
+// trial with the configuration error solo runs report.
+func TestRunBatchedSurfacesCompileErrors(t *testing.T) {
+	g := graph.NewClique(8)
+	jobs := TrialJobs(g, factory, 3, 4, sim.Options{DropRate: 1.5})
+	want := Pool{Workers: 1}.Run(jobs)
+	got := Pool{Workers: 1}.RunBatched(jobs, 4, nil)
+	for i := range want {
+		if !got[i].Same(want[i]) {
+			t.Fatalf("job %d: batched %+v, solo %+v", i, got[i], want[i])
+		}
+		if !strings.Contains(got[i].Err, "drop rate") {
+			t.Fatalf("job %d: Err %q, want drop-rate error", i, got[i].Err)
+		}
+	}
+}
+
+// TestStreamBatchedMeterAndProgress — per-worker telemetry shards merge
+// into the same deterministic aggregate as solo streaming (labels move
+// to the /batch dispatch but run/step totals are identical), and
+// Progress stays monotone ending at done == total.
+func TestStreamBatchedMeterAndProgress(t *testing.T) {
+	g := graph.NewClique(12)
+	jobs := TrialJobs(g, factory, 7, 12, sim.Options{})
+	soloMeter := new(telemetry.Counters)
+	Pool{Workers: 1, Meter: soloMeter}.Run(jobs)
+	solo := soloMeter.Snapshot()
+
+	meter := new(telemetry.Counters)
+	last := 0
+	final := 0
+	Pool{Workers: 3, Meter: meter, Progress: func(done, total int) {
+		if done <= last || total != len(jobs) {
+			t.Errorf("progress (%d, %d) after %d", done, total, last)
+		}
+		last = done
+		final = done
+	}}.StreamBatched(jobs, 4, nil, func(int, Outcome) {})
+	if final != len(jobs) {
+		t.Fatalf("final progress %d, want %d", final, len(jobs))
+	}
+	got := meter.Snapshot()
+	if got.StepsExecuted != solo.StepsExecuted || got.ChunksRun != solo.ChunksRun ||
+		got.RNGRefills != solo.RNGRefills || got.DropsApplied != solo.DropsApplied ||
+		got.TrialsRun != solo.TrialsRun || got.TrialsStabilized != solo.TrialsStabilized {
+		t.Fatalf("batched snapshot %+v, solo %+v", got, solo)
+	}
+	if got.KernelDispatch["clique-uniform/table/batch"] != int64(len(jobs)) {
+		t.Fatalf("dispatch %v, want %d lockstep runs", got.KernelDispatch, len(jobs))
+	}
+}
+
+// TestStreamBatchedWidthOne degenerates to Stream (and tolerates empty
+// job lists).
+func TestStreamBatchedWidthOne(t *testing.T) {
+	g := graph.NewClique(8)
+	jobs := TrialJobs(g, factory, 2, 3, sim.Options{})
+	want := Pool{Workers: 1}.Run(jobs)
+	got := Pool{Workers: 1}.RunBatched(jobs, 1, nil)
+	for i := range want {
+		if !got[i].Same(want[i]) {
+			t.Fatalf("job %d: batched %+v, solo %+v", i, got[i], want[i])
+		}
+	}
+	Pool{}.StreamBatched(nil, 8, nil, func(int, Outcome) { t.Fatal("emit on empty batch") })
+}

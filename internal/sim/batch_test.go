@@ -1,0 +1,291 @@
+package sim_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/protocols/beauquier"
+	"popgraph/internal/protocols/majority"
+	"popgraph/internal/runner"
+	. "popgraph/internal/sim"
+	"popgraph/internal/telemetry"
+	"popgraph/internal/xrand"
+)
+
+// soloOutcome runs one trial through the solo plan path with
+// runner-style crash recovery, so batch lanes can be compared against
+// exactly what a pool worker would record.
+func soloOutcome(g graph.Graph, p Protocol, r *xrand.Rand, opts Options) (res Result, crashed string) {
+	defer func() {
+		if e := recover(); e != nil {
+			res = Result{Steps: 0, Stabilized: false, Leader: -1}
+			crashed = fmt.Sprint(e)
+		}
+	}()
+	res = Run(g, p, r, opts)
+	return res, ""
+}
+
+// runBatchOf compiles opts and runs a T-lane batch of factory() with
+// per-lane seeds SeedFor(seed, i).
+func runBatchOf(t *testing.T, g graph.Graph, factory func() Protocol, seed uint64,
+	T int, opts Options) []BatchResult {
+	t.Helper()
+	pl, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]Protocol, T)
+	rs := make([]*xrand.Rand, T)
+	for i := range ps {
+		ps[i] = factory()
+		rs[i] = xrand.New(runner.SeedFor(seed, i))
+	}
+	return pl.RunBatch(ps, rs, nil)
+}
+
+// TestRunBatchLockstepDispatch pins which configurations actually take
+// the lockstep kernels: the meter's dispatch labels must show
+// ".../table/batch" lanes for the dense-uniform, clique-uniform and
+// weighted plans, and the solo labels for the fallbacks (node-clock,
+// NoTable, non-Tabular protocols) — so a silent demotion to the
+// sequential path cannot pass as batching.
+func TestRunBatchLockstepDispatch(t *testing.T) {
+	torus := graph.Torus2D(4, 4)
+	weights := make([]float64, torus.M())
+	for i := range weights {
+		weights[i] = float64(1 + i%5)
+	}
+	weighted, err := NewWeighted(torus, "weighted:ramp", weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeClock, err := NewNodeClock(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	six := func() Protocol { return beauquier.New() }
+	cases := []struct {
+		tag     string
+		g       graph.Graph
+		opts    Options
+		factory func() Protocol
+		want    string
+	}{
+		{"clique", graph.NewClique(16), Options{MaxSteps: 600}, six, "clique-uniform/table/batch"},
+		{"dense", torus, Options{MaxSteps: 600}, six, "dense-uniform/table/batch"},
+		{"weighted", torus, Options{MaxSteps: 600, Scheduler: weighted}, six, "weighted/table/batch"},
+		{"node-clock", torus, Options{MaxSteps: 600, Scheduler: nodeClock}, six, "node-clock/table"},
+		{"no-table", torus, Options{MaxSteps: 600, NoTable: true}, six, "dense-uniform/step"},
+	}
+	for _, c := range cases {
+		meter := new(telemetry.Counters)
+		opts := c.opts
+		opts.Meter = meter
+		for i, br := range runBatchOf(t, c.g, c.factory, 7, 4, opts) {
+			if br.Crashed != "" {
+				t.Fatalf("%s: lane %d crashed: %s", c.tag, i, br.Crashed)
+			}
+		}
+		s := meter.Snapshot()
+		if s.KernelDispatch[c.want] != 4 {
+			t.Fatalf("%s: want 4 lanes under %q, got dispatch %v", c.tag, c.want, s.KernelDispatch)
+		}
+	}
+}
+
+// flakyReset is a Tabular protocol whose Reset crashes for half the
+// seeds (one parity draw from the trial's own generator), modelling a
+// protocol rejecting part of a sweep grid. The extra draw is identical
+// solo and batched, so surviving lanes stay comparable.
+type flakyReset struct {
+	*beauquier.Protocol
+}
+
+func (f *flakyReset) Reset(g graph.Graph, r *xrand.Rand) {
+	if r.Uint64()&1 == 1 {
+		panic("flaky reset: rejecting graph")
+	}
+	f.Protocol.Reset(g, r)
+}
+
+// TestRunBatchCrashedLanes — a lane crashing at Reset must be recorded
+// like a crashed solo trial (zero Result, the panic message) while the
+// surviving lanes run the lockstep kernel and stay byte-identical to
+// their solo runs.
+func TestRunBatchCrashedLanes(t *testing.T) {
+	g := graph.NewClique(12)
+	const seed, T = 3, 8
+	factory := func() Protocol { return &flakyReset{beauquier.New()} }
+	opts := Options{MaxSteps: 5000}
+	brs := runBatchOf(t, g, factory, seed, T, opts)
+	crashed, survived := 0, 0
+	for i, br := range brs {
+		res, msg := soloOutcome(g, factory(), xrand.New(runner.SeedFor(seed, i)), opts)
+		if br.Crashed != msg {
+			t.Fatalf("lane %d: batch crash %q, solo crash %q", i, br.Crashed, msg)
+		}
+		if br.Result != res {
+			t.Fatalf("lane %d: batch %+v, solo %+v", i, br.Result, res)
+		}
+		if msg != "" {
+			crashed++
+		} else {
+			survived++
+		}
+	}
+	if crashed == 0 || survived == 0 {
+		t.Fatalf("want a mixed batch, got %d crashed / %d survived (pick another seed)", crashed, survived)
+	}
+}
+
+// panicObserver crashes at its n-th callback.
+type panicObserver struct{ calls, at int }
+
+func (o *panicObserver) Observe(int64) {
+	o.calls++
+	if o.calls == o.at {
+		panic("observer boom")
+	}
+}
+
+// TestRunBatchObserverCrashIsolation — an observer panicking at a
+// boundary kills its own lane (matching the solo trial's crash) and no
+// other.
+func TestRunBatchObserverCrashIsolation(t *testing.T) {
+	g := graph.NewClique(12)
+	const seed, T = 11, 3
+	opts := Options{MaxSteps: 4000, ObserveEvery: 64}
+	pl, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]Protocol, T)
+	rs := make([]*xrand.Rand, T)
+	obs := make([]Observer, T)
+	for i := range ps {
+		ps[i] = beauquier.New()
+		rs[i] = xrand.New(runner.SeedFor(seed, i))
+		if i == 1 {
+			obs[i] = &panicObserver{at: 1}
+		}
+	}
+	brs := pl.RunBatch(ps, rs, obs)
+	for i, br := range brs {
+		soloOpts := opts
+		if i == 1 {
+			soloOpts.Observer = &panicObserver{at: 1}
+		}
+		res, msg := soloOutcome(g, beauquier.New(), xrand.New(runner.SeedFor(seed, i)), soloOpts)
+		if br.Crashed != msg || br.Result != res {
+			t.Fatalf("lane %d: batch (%+v, %q), solo (%+v, %q)", i, br.Result, br.Crashed, res, msg)
+		}
+	}
+	if brs[1].Crashed == "" {
+		t.Fatal("lane 1's observer panic was not recorded")
+	}
+}
+
+// TestRunBatchMixedTablesFallsBack — lanes whose compiled tables differ
+// (here six-state and four-state majority in one call) cannot share the
+// lockstep kernel's single resident table; RunBatch must fall back to
+// sequential solo runs and still match each lane's solo result.
+func TestRunBatchMixedTablesFallsBack(t *testing.T) {
+	g := graph.NewClique(10)
+	inputs := make([]bool, g.N())
+	for i := 0; i <= g.N()/2; i++ {
+		inputs[i] = true
+	}
+	lanes := []func() Protocol{
+		func() Protocol { return beauquier.New() },
+		func() Protocol { return majority.New(inputs) },
+		func() Protocol { return beauquier.New() },
+	}
+	const seed = 21
+	opts := Options{MaxSteps: 3000}
+	meter := new(telemetry.Counters)
+	mOpts := opts
+	mOpts.Meter = meter
+	pl, err := Compile(g, mOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]Protocol, len(lanes))
+	rs := make([]*xrand.Rand, len(lanes))
+	for i, f := range lanes {
+		ps[i] = f()
+		rs[i] = xrand.New(runner.SeedFor(seed, i))
+	}
+	for i, br := range pl.RunBatch(ps, rs, nil) {
+		if br.Crashed != "" {
+			t.Fatalf("lane %d crashed: %s", i, br.Crashed)
+		}
+		res, _ := soloOutcome(g, lanes[i](), xrand.New(runner.SeedFor(seed, i)), opts)
+		if br.Result != res {
+			t.Fatalf("lane %d: batch %+v, solo %+v", i, br.Result, res)
+		}
+	}
+	for label := range meter.Snapshot().KernelDispatch {
+		if strings.Contains(label, "/batch") {
+			t.Fatalf("mixed-table batch ran lockstep under %q", label)
+		}
+	}
+}
+
+// TestCompileBatch pins which configurations the batch front door
+// accepts: the three lockstep-capable plans compile, and the rest error
+// with the fallback reason instead of silently degrading.
+func TestCompileBatch(t *testing.T) {
+	torus := graph.Torus2D(4, 4)
+	nodeClock, err := NewNodeClock(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := NewChurn(torus, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileBatch(graph.NewClique(16), Options{}); err != nil {
+		t.Fatalf("clique uniform: %v", err)
+	}
+	if _, err := CompileBatch(torus, Options{}); err != nil {
+		t.Fatalf("dense uniform: %v", err)
+	}
+	for tag, opts := range map[string]Options{
+		"node-clock": {Scheduler: nodeClock},
+		"churn":      {Scheduler: churn},
+		"no-table":   {NoTable: true},
+		"reference":  {Reference: true},
+	} {
+		if _, err := CompileBatch(torus, opts); err == nil {
+			t.Fatalf("%s: CompileBatch accepted a solo-fallback configuration", tag)
+		}
+	}
+	pl, err := Compile(graph.NewClique(16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := pl.BatchEngine(beauquier.New()); e != "lockstep" {
+		t.Fatalf("six-state on clique: BatchEngine = %q", e)
+	}
+}
+
+// TestRunBatchArgValidation — length mismatches panic (caller bugs, not
+// run configurations) and the empty batch is a no-op.
+func TestRunBatchArgValidation(t *testing.T) {
+	pl, err := Compile(graph.NewClique(8), Options{MaxSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.RunBatch(nil, nil, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched slice lengths did not panic")
+		}
+	}()
+	pl.RunBatch([]Protocol{beauquier.New()}, nil, nil)
+}

@@ -1,0 +1,341 @@
+// Batch execution driver. RunBatch runs T replicate trials of one
+// compiled plan in lockstep through the structure-of-arrays kernels in
+// engine_batch.go, falling back to sequential solo runs when the
+// configuration has no lockstep kernel. Either way every trial is
+// byte-identical — Result, observer sequence, post-run generator state,
+// telemetry step totals — to the solo run of the same (protocol,
+// generator, observer) triple, so callers choose batch mode purely on
+// throughput grounds.
+//
+// The window loop mirrors ExecPlan.Run exactly: window length is
+// min(rngBlockSize, steps to the next observer boundary, steps to the
+// cap), shared by all lanes because every lane of a batch runs the same
+// plan (same cap, same observer cadence). A lane stabilizing mid-window
+// retires immediately inside the kernel; the driver drains retirements
+// after the window, firing the lane's boundary observation first when
+// the stabilizing step landed exactly on an observer boundary — the
+// same callback ordering as the solo loop, which only ever observes at
+// window ends. Lanes are crash-isolated like runner trials: a panic in
+// a lane's Reset, observer or finisher marks that lane crashed and the
+// survivors keep running.
+
+package sim
+
+import (
+	"fmt"
+
+	"popgraph/internal/graph"
+	"popgraph/internal/xrand"
+)
+
+// BatchResult is the outcome of one lane of a RunBatch: the solo-run
+// Result plus the recovered panic message when the lane's protocol or
+// observer crashed (empty on success). A crashed lane reports
+// Result{Steps: 0, Stabilized: false, Leader: -1}, matching the outcome
+// runner records for a crashed solo trial.
+type BatchResult struct {
+	Result
+	Crashed string
+}
+
+// CompileBatch is Compile for callers that require the lockstep batch
+// kernels: it compiles the plan and errors when the configuration can
+// only execute batches as sequential solo runs, naming the reason.
+// RunBatch itself works on any compiled plan (falling back silently);
+// CompileBatch exists so benchmark and sweep fronts can report — or
+// refuse — cells where -batch would buy nothing. The protocol axis is a
+// Run argument, so a CompileBatch'd plan still falls back for
+// non-Tabular protocols; BatchEngine reports that per protocol.
+func CompileBatch(g graph.Graph, opts Options) (*ExecPlan, error) {
+	pl, err := Compile(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	if pl.noTable {
+		return nil, fmt.Errorf("sim: NoTable forces interface dispatch; no lockstep batch kernel")
+	}
+	switch pl.mode {
+	case modeDenseUniform, modeCliqueUniform, modeWeighted:
+		return pl, nil
+	case modeNodeClock:
+		return nil, fmt.Errorf("sim: the node-clock scheduler has no lockstep batch kernel (its alias-plus-neighbor draw did not carry its weight batched); RunBatch falls back to sequential solo runs")
+	default:
+		return nil, fmt.Errorf("sim: plan compiled to the generic %q kernel; only specialized table kernels run batched", pl.Engine())
+	}
+}
+
+// BatchEngine reports the execution a RunBatch of p on this plan
+// selects: "lockstep" when batches of p run on the structure-of-arrays
+// kernel, "solo" when they fall back to sequential solo runs (generic
+// or node-clock plans, NoTable, non-Tabular protocols). Like
+// ProtocolEngine it judges a fresh instance, before Reset.
+func (pl *ExecPlan) BatchEngine(p Protocol) string {
+	if pl.fusable(p) == nil {
+		return "solo"
+	}
+	switch pl.mode {
+	case modeDenseUniform, modeCliqueUniform, modeWeighted:
+		return "lockstep"
+	}
+	return "solo"
+}
+
+// RunBatch resets every lane's protocol on the plan's graph and
+// executes all lanes to stabilization or the step cap. ps[i], rs[i] and
+// obs[i] are lane i's protocol instance, private generator and
+// observer; obs may be nil to give every lane the plan's shared
+// Observer (which must then tolerate interleaved callbacks from
+// different lanes — per-lane observers are the norm). Lane i is
+// byte-identical to pl.Run of the same triple; crashed lanes are
+// reported in BatchResult.Crashed without disturbing the others.
+func (pl *ExecPlan) RunBatch(ps []Protocol, rs []*xrand.Rand, obs []Observer) []BatchResult {
+	if len(rs) != len(ps) || (obs != nil && len(obs) != len(ps)) {
+		panic(fmt.Sprintf("sim: RunBatch slice lengths disagree (%d protocols, %d generators, %d observers)",
+			len(ps), len(rs), len(obs)))
+	}
+	out := make([]BatchResult, len(ps))
+	if len(ps) == 0 {
+		return out
+	}
+	laneObs := make([]Observer, len(ps))
+	for i := range laneObs {
+		if obs != nil {
+			laneObs[i] = obs[i]
+		} else {
+			laneObs[i] = pl.observer
+		}
+	}
+	// Reset every lane first — each lane draws only from its own
+	// generator, so reset order across lanes cannot perturb any stream.
+	// A lane crashing at Reset (a protocol rejecting the graph) is
+	// recorded and excluded from the roster.
+	alive := make([]int32, 0, len(ps))
+	for i := range ps {
+		if msg := pl.resetLane(ps[i], rs[i], laneObs[i]); msg != "" {
+			out[i] = BatchResult{Result: Result{Steps: 0, Stabilized: false, Leader: -1}, Crashed: msg}
+		} else {
+			alive = append(alive, int32(i))
+		}
+	}
+	if len(alive) == 0 {
+		return out
+	}
+	if kern := pl.newBatchKernel(ps, rs, alive); kern != nil {
+		pl.runLockstep(kern, ps, laneObs, out)
+		return out
+	}
+	// No lockstep kernel for this configuration: run each lane as the
+	// solo loop would, with per-lane crash isolation. The lanes are
+	// already Reset, so this goes through the shared post-Reset path.
+	for _, l := range alive {
+		pl.runSoloLane(ps[l], rs[l], laneObs[l], &out[l])
+	}
+	return out
+}
+
+// resetLane resets one lane's protocol and binds its observer,
+// recovering a crash into the returned message.
+func (pl *ExecPlan) resetLane(p Protocol, r *xrand.Rand, ob Observer) (msg string) {
+	defer func() {
+		if e := recover(); e != nil {
+			msg = fmt.Sprint(e)
+		}
+	}()
+	p.Reset(pl.g, r)
+	if b, ok := ob.(ProtocolBinder); ok {
+		b.Bind(p)
+	}
+	return ""
+}
+
+// runSoloLane is the fallback per-lane executor: the solo chunk loop on
+// an already-Reset lane, with the lane's own observer and runner-style
+// crash recovery.
+func (pl *ExecPlan) runSoloLane(p Protocol, r *xrand.Rand, ob Observer, out *BatchResult) {
+	defer func() {
+		if e := recover(); e != nil {
+			*out = BatchResult{Result: Result{Steps: 0, Stabilized: false, Leader: -1}, Crashed: fmt.Sprint(e)}
+		}
+	}()
+	out.Result = pl.runPrepared(p, r, ob)
+}
+
+// newBatchKernel instantiates the lockstep kernel for the plan × the
+// given lanes, or nil when the configuration must fall back: generic or
+// node-clock plans, NoTable, a non-Tabular lane, or lanes whose
+// compiled tables differ (replicates of one factory always share table
+// content; mixed batches are not lockstep-safe because the kernel keeps
+// a single table resident).
+func (pl *ExecPlan) newBatchKernel(ps []Protocol, rs []*xrand.Rand, lanes []int32) batchKernel {
+	tabs := make([]Tabular, len(ps))
+	for _, l := range lanes {
+		tp := pl.fusable(ps[l])
+		if tp == nil || len(tp.TableStates()) != pl.g.N() {
+			return nil
+		}
+		tabs[l] = tp
+	}
+	ref := tabs[lanes[0]].Table()
+	refCells := ref.Cells()
+	if len(refCells) == 0 {
+		return nil
+	}
+	for _, l := range lanes[1:] {
+		t := tabs[l].Table()
+		cells := t.Cells()
+		if t.K() != ref.K() || len(cells) != len(refCells) {
+			return nil
+		}
+		if &cells[0] == &refCells[0] {
+			continue // same backing array: trivially identical
+		}
+		for j := range cells {
+			if cells[j] != refCells[j] {
+				return nil
+			}
+		}
+	}
+	b := newTableBatch(pl, tabs, rs, lanes)
+	switch pl.mode {
+	case modeDenseUniform:
+		return newDenseBatchKernel(pl.g.(*graph.Dense), b)
+	case modeCliqueUniform:
+		return newCliqueBatchKernel(pl.g.(graph.Clique), b)
+	case modeWeighted:
+		return newWeightedBatchKernel(pl.weighted, b)
+	}
+	return nil
+}
+
+// runLockstep drives the lockstep kernel through the shared window loop
+// and settles every lane's result. Per-lane telemetry mirrors the solo
+// loop: a lane's chunk count is the number of windows it attended when
+// it has an observer (shared windows ARE its solo windows, since window
+// shortening depends only on the plan's cadence), and the solo loop's
+// 512-aligned window count when it does not.
+func (pl *ExecPlan) runLockstep(kern batchKernel, ps []Protocol, laneObs []Observer, out []BatchResult) {
+	c := kern.core()
+	label := planModeNames[pl.mode] + "/table/batch"
+	hasObs := false
+	for _, l := range c.active {
+		if laneObs[l] != nil {
+			hasObs = true
+			break
+		}
+	}
+	chunks := make([]int64, len(ps))
+	observes := make([]int64, len(ps))
+	var t int64
+	for t < pl.maxSteps && len(c.active) > 0 {
+		k := pl.maxSteps - t
+		if k > rngBlockSize {
+			k = rngBlockSize
+		}
+		if hasObs {
+			if toBoundary := pl.every - t%pl.every; toBoundary < k {
+				k = toBoundary
+			}
+		}
+		for _, l := range c.active {
+			chunks[l]++
+		}
+		kern.run(t, k)
+		t += k
+		boundary := hasObs && t%pl.every == 0
+		for _, l := range c.takeRetired() {
+			observeFirst := boundary && c.stopAt[l] == t && laneObs[l] != nil
+			pl.settleLane(c, ps[l], laneObs[l], label, l, true, observeFirst,
+				chunks[l], observes[l], &out[l])
+		}
+		if boundary {
+			// Boundary callbacks for the survivors, with solo-style crash
+			// isolation: an observer panic kills its lane, not the batch.
+			var crashed []int32
+			for _, l := range c.active {
+				if laneObs[l] == nil {
+					continue
+				}
+				if msg := observeLane(c, laneObs[l], l, t); msg != "" {
+					out[l] = BatchResult{Result: Result{Steps: 0, Stabilized: false, Leader: -1}, Crashed: msg}
+					crashed = append(crashed, l)
+					continue
+				}
+				observes[l]++
+			}
+			for _, l := range crashed {
+				c.removeLane(l)
+			}
+		}
+	}
+	// Cap exhausted: the remaining lanes finish unstabilized, exactly as
+	// the solo loop's fallthrough.
+	for _, l := range c.active {
+		c.stopAt[l] = pl.maxSteps
+		pl.settleLane(c, ps[l], laneObs[l], label, l, false, false, chunks[l], observes[l], &out[l])
+	}
+	c.active = c.active[:0]
+}
+
+// removeLane removes a crashed lane from the active roster
+// (driver-side; the kernel's retire handles stabilization removal).
+func (b *tableBatch) removeLane(lane int32) {
+	for a, l := range b.active {
+		if l == lane {
+			copy(b.active[a:], b.active[a+1:])
+			b.active = b.active[:len(b.active)-1]
+			return
+		}
+	}
+}
+
+// observeLane syncs one lane and fires its boundary observation,
+// recovering a crash into the returned message.
+func observeLane(c *tableBatch, ob Observer, lane int32, t int64) (msg string) {
+	defer func() {
+		if e := recover(); e != nil {
+			msg = fmt.Sprint(e)
+		}
+	}()
+	c.syncLane(lane)
+	ob.Observe(t)
+	return ""
+}
+
+// settleLane runs one lane's end-of-run sequence in exactly the solo
+// loop's order: the stabilizing boundary observation (when the lane
+// stabilized on one), generator rewind, final sync, flush (observer
+// finisher + telemetry), then the Result — with a crash anywhere
+// recovering into a crashed lane, leaving precisely the side effects
+// the solo run would have committed before the same panic.
+func (pl *ExecPlan) settleLane(c *tableBatch, p Protocol, ob Observer, label string,
+	lane int32, stabilized, observeFirst bool, chunks, observes int64, out *BatchResult) {
+	defer func() {
+		if e := recover(); e != nil {
+			*out = BatchResult{Result: Result{Steps: 0, Stabilized: false, Leader: -1}, Crashed: fmt.Sprint(e)}
+		}
+	}()
+	steps := c.stopAt[lane]
+	if observeFirst {
+		c.syncLane(lane)
+		ob.Observe(steps)
+		observes++
+	}
+	c.finishLane(lane)
+	c.syncLane(lane)
+	if ob == nil {
+		// Observer-less lanes never shorten their solo windows; their
+		// chunk count is the 512-aligned window count over the steps run.
+		chunks = (steps + rngBlockSize - 1) / rngBlockSize
+	}
+	if f, ok := ob.(RunFinisher); ok {
+		f.Finish(steps)
+	}
+	if pl.meter != nil {
+		pl.meter.AddRun(steps, chunks, c.blks[lane].refills, c.drops[lane], observes, label)
+	}
+	if stabilized {
+		*out = BatchResult{Result: Result{Steps: steps, Stabilized: true, Leader: FindLeader(pl.g, p)}}
+	} else {
+		*out = BatchResult{Result: Result{Steps: pl.maxSteps, Stabilized: false, Leader: -1}}
+	}
+}

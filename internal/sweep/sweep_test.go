@@ -28,14 +28,14 @@ func TestParseJSON(t *testing.T) {
 		"name": "demo", "seed": 7, "trials": 2,
 		"graphs": ["clique:N", "torus:NxN"], "sizes": [8],
 		"protocols": ["six-state", "fast"], "drop_rates": [0, 0.5],
-		"max_steps": 100000
+		"max_steps": 100000, "batch": 8
 	}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if spec.Name != "demo" || spec.Seed != 7 || spec.Trials != 2 ||
 		len(spec.Graphs) != 2 || len(spec.Protocols) != 2 ||
-		len(spec.DropRates) != 2 || spec.MaxSteps != 100000 {
+		len(spec.DropRates) != 2 || spec.MaxSteps != 100000 || spec.Batch != 8 {
 		t.Fatalf("parsed spec %+v", spec)
 	}
 }
@@ -84,6 +84,7 @@ func TestValidate(t *testing.T) {
 		{"tiny size", func(s *Spec) { s.Sizes = []int{1} }},
 		{"bad drop", func(s *Spec) { s.DropRates = []float64{1} }},
 		{"negative cap", func(s *Spec) { s.MaxSteps = -1 }},
+		{"negative batch", func(s *Spec) { s.Batch = -1 }},
 		{"blank scheduler", func(s *Spec) { s.Schedulers = []string{"uniform", " "} }},
 	}
 	for _, c := range cases {
@@ -285,6 +286,52 @@ func TestExecuteByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 	if got := len(results.Aggregate(recs)); got != 6*5*2 {
 		t.Fatalf("aggregated into %d groups, want %d", got, 6*5*2)
+	}
+}
+
+// TestExecuteStreamBatchedByteIdentical — the batch knob must be
+// invisible in the records: for any batch width (dividing Trials or
+// not, wider than a task or not) the streamed records equal the solo
+// grid's byte for byte, across the full scheduler axis (lockstep cells
+// and fallback cells alike, crashed star trials included).
+func TestExecuteStreamBatchedByteIdentical(t *testing.T) {
+	s := Spec{
+		Seed:   7,
+		Trials: 5,
+		Graphs: []string{"clique:N", "star:N"},
+		Sizes:  []int{8},
+		Schedulers: []string{
+			"uniform", "weighted:exp", "node-clock",
+		},
+		Protocols: []string{"six-state", "star"},
+		DropRates: []float64{0, 0.25},
+	}
+	encode := func(batch int) []byte {
+		tasks, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []results.Record
+		ExecuteStreamBatched(tasks, runner.Pool{Workers: 3}, batch, func(rec results.Record) {
+			recs = append(recs, rec)
+		})
+		for i := range recs {
+			recs[i].ElapsedNs, recs[i].QueueWaitNs = 0, 0
+		}
+		var buf bytes.Buffer
+		if err := results.Write(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := encode(0)
+	if len(want) == 0 {
+		t.Fatal("no output produced")
+	}
+	for _, batch := range []int{2, 3, 5, 16} {
+		if got := encode(batch); !bytes.Equal(got, want) {
+			t.Fatalf("batch=%d records differ from the solo grid", batch)
+		}
 	}
 }
 
