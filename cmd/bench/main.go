@@ -119,6 +119,13 @@ func run(out string, seed uint64, quick, quiet bool, compare string, tol float64
 	if err != nil {
 		return err
 	}
+	// The startup axis: snapshot build-once vs load-many timings on a
+	// large graph, recorded in the report but never gated (Compare
+	// matches Results only — load time is I/O-bound and machine-noisy).
+	rep.Startup, err = bench.RunStartup(bench.DefaultStartup(quick), seed, logf)
+	if err != nil {
+		return err
+	}
 	if metrics != "" {
 		if err := telemetry.WriteSnapshotFile(metrics, meter); err != nil {
 			return err
@@ -145,6 +152,18 @@ func run(out string, seed uint64, quick, quiet bool, compare string, tol float64
 	t.WriteText(os.Stdout)
 	fmt.Printf("max speedup: %.2fx  max table speedup: %.2fx  max batch speedup: %.2fx\n",
 		rep.MaxSpeedup, rep.MaxTableSpeedup, rep.MaxBatchSpeedup)
+	if len(rep.Startup) > 0 {
+		st := table.New("snapshot startup (build once vs load)",
+			"graph", "n", "m", "bytes", "build ms", "load ms", "mmap ms", "speedup")
+		for _, s := range rep.Startup {
+			st.AddRow(s.GraphSpec, s.N, s.M, s.SnapshotBytes,
+				fmt.Sprintf("%.1f", float64(s.BuildNs)/1e6),
+				fmt.Sprintf("%.2f", float64(s.LoadNs)/1e6),
+				fmt.Sprintf("%.2f", float64(s.MmapLoadNs)/1e6),
+				fmt.Sprintf("%.0fx", s.LoadSpeedup))
+		}
+		st.WriteText(os.Stdout)
+	}
 
 	if out != "" {
 		f, err := os.Create(out)

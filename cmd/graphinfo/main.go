@@ -4,39 +4,72 @@
 // classic-walk hitting time H(G), next to the Theorem 6 / Lemma 12
 // broadcast bounds.
 //
+// For a snapshot-loaded graph (-graph file:PATH.popg) it first prints
+// the container itself — header, section table with checksums, stored
+// artifact names — before the usual graph statistics; -verify also
+// runs the deep O(m) content check the encoder performed at write time
+// (loaders skip it by design, trusting the checksums). -out PATH.popg
+// snapshots any graph spec instead of analyzing it, a lightweight
+// alternative to cmd/preprocess.
+//
 // Usage:
 //
 //	graphinfo -graph cycle:256 -seed 1
+//	graphinfo -graph ws:100000:10:0.1 -out ws.popg
+//	graphinfo -graph file:ws.popg -fast
+//	graphinfo -graph file:ws.popg -verify -fast
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"popgraph"
 	"popgraph/internal/bounds"
 	"popgraph/internal/graph"
+	"popgraph/internal/snapshot"
 )
 
 func main() {
 	var (
-		graphSpec = flag.String("graph", "cycle:128", "graph spec, e.g. gnp:256:0.5")
+		graphSpec = flag.String("graph", "cycle:128", "graph spec, e.g. gnp:256:0.5 or file:PATH.popg")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		skipSlow  = flag.Bool("fast", false, "skip the slower B(G)/H(G) estimates")
+		out       = flag.String("out", "", "write the graph as a binary snapshot to this path and exit")
+		verify    = flag.Bool("verify", false, "deep-verify a file:/mmap: snapshot's content (the O(m) check loaders skip)")
 	)
 	flag.Parse()
-	if err := run(*graphSpec, *seed, *skipSlow); err != nil {
+	if err := run(*graphSpec, *seed, *skipSlow, *out, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "graphinfo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec string, seed uint64, skipSlow bool) error {
+func run(spec string, seed uint64, skipSlow bool, out string, verify bool) error {
+	if out != "" {
+		return writeSnapshot(spec, seed, out)
+	}
+	_, isSnap := snapshotPath(spec)
+	if verify && !isSnap {
+		return fmt.Errorf("-verify needs a file:/mmap: snapshot spec, got %q", spec)
+	}
+	if path, ok := snapshotPath(spec); ok {
+		if err := printSnapshot(path); err != nil {
+			return err
+		}
+	}
 	r := popgraph.NewRand(seed)
 	g, err := popgraph.ParseGraph(spec, r)
 	if err != nil {
 		return err
+	}
+	if verify {
+		if err := snapshot.Verify(snapshot.Of(g)); err != nil {
+			return err
+		}
+		fmt.Printf("verified   deep content check passed (CSR consistency, alias tables)\n")
 	}
 	n, m := g.N(), g.M()
 	maxDeg, minDeg := popgraph.MaxDegree(g), popgraph.MinDegree(g)
@@ -74,5 +107,63 @@ func run(spec string, seed uint64, skipSlow bool) error {
 	fmt.Printf("H(G)       %.4g (%s)\n", h, method)
 	fmt.Printf("paper stabilization shapes: identifier B+nlogn = %.4g, fast B*logn = %.4g, six-state H*nlogn = %.4g\n",
 		bounds.IdentifierUpper(n, b), bounds.FastUpper(n, b), bounds.SixStateUpper(n, h))
+	return nil
+}
+
+// snapshotPath extracts the snapshot file path from a file:/mmap: spec.
+func snapshotPath(spec string) (string, bool) {
+	if path, ok := strings.CutPrefix(spec, "file:"); ok {
+		return path, true
+	}
+	return strings.CutPrefix(spec, "mmap:")
+}
+
+// printSnapshot prints the container-level view of a .popg file:
+// header fields, the section table with offsets/lengths/checksums, and
+// the stored artifact names. Inspect verifies every checksum, so a
+// clean listing doubles as an integrity check.
+func printSnapshot(path string) error {
+	info, err := snapshot.Inspect(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshot   %s (%s, %d bytes)\n", path, info.Magic, info.FileSize)
+	fmt.Printf("source     %s\n", info.Source)
+	fmt.Printf("stored     %s: n=%d, m=%d, diameter=%d, connected=%v\n",
+		info.GraphName, info.N, info.M, info.Diameter, info.Connected)
+	fmt.Printf("sections   %d (all checksums verified)\n", len(info.Sections))
+	for _, s := range info.Sections {
+		name := s.Kind
+		if s.Name != "" {
+			name += ":" + s.Name
+		}
+		fmt.Printf("  %-28s offset %8d  length %10d  crc32c %08x\n",
+			name, s.Offset, s.Length, s.Checksum)
+	}
+	fmt.Println()
+	return nil
+}
+
+// writeSnapshot builds the graph spec and writes it as a snapshot —
+// the minimal preprocess path (no weights or tables; use cmd/preprocess
+// to embed those).
+func writeSnapshot(spec string, seed uint64, out string) error {
+	r := popgraph.NewRand(seed)
+	g, err := popgraph.ParseGraph(spec, r)
+	if err != nil {
+		return err
+	}
+	snap, err := snapshot.Build(g, spec)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.WriteFile(out, snap); err != nil {
+		return err
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s (n=%d, m=%d, %d bytes)\n", out, g.Name(), g.N(), g.M(), st.Size())
 	return nil
 }

@@ -20,10 +20,12 @@
 // with or without it.
 //
 // Graphs: clique:N cycle:N path:N star:N hypercube:D torus:RxC grid:RxC
-// lollipop:K:P barbell:K:P gnp:N:P regular:N:D ws:N:K:BETA ba:N:M.
+// lollipop:K:P barbell:K:P gnp:N:P regular:N:D ws:N:K:BETA ba:N:M, or a
+// preprocessed binary snapshot: file:PATH.popg (read) / mmap:PATH.popg
+// (memory-mapped; build one with cmd/preprocess or graphinfo -out).
 // Protocols: six-state | identifier | identifier-regular | fast | star | majority:FRAC.
-// Schedulers: uniform | weighted[:exp|:degprod] | node-clock |
-// churn:UP:DOWN.
+// Schedulers: uniform | weighted[:exp|:degprod|:snap[:NAME]] |
+// node-clock | churn:UP:DOWN.
 package main
 
 import (
@@ -40,7 +42,7 @@ import (
 
 func main() {
 	var (
-		graphSpec = flag.String("graph", "clique:128", "graph spec, e.g. torus:16x16")
+		graphSpec = flag.String("graph", "clique:128", "graph spec, e.g. torus:16x16 or file:PATH.popg")
 		schedSpec = flag.String("scheduler", "uniform", "interaction scheduler: uniform|weighted[:exp|:degprod]|node-clock|churn:UP:DOWN")
 		protoSpec = flag.String("protocol", "six-state", "protocol: six-state|identifier|identifier-regular|fast|star|majority:FRAC")
 		seed      = flag.Uint64("seed", 1, "base random seed")

@@ -1,0 +1,186 @@
+// Command preprocess builds a graph once and writes it as a binary
+// popgraph-snap/v1 snapshot (see internal/snapshot), so later runs load
+// it with file:PATH.popg (or mmap:PATH.popg) in milliseconds instead of
+// regenerating it — the point at 10⁶–10⁷ nodes, where generation plus
+// connectivity conditioning dominates startup.
+//
+// Usage:
+//
+//	preprocess -graph ws:1000000:10:0.1 -seed 1 -out ws1m.popg
+//	preprocess -graph ba:100000:4 -out ba.popg -weights exp,degprod -tables six-state,star
+//	preprocess -graph ws:4096:8:0.2 -sweep-seed 42 -sweep-index 0 -out cell0.popg
+//
+// -weights embeds named per-edge rate vectors with prebuilt alias
+// tables, consumed by the weighted:snap[:NAME] scheduler spec. -tables
+// embeds compiled transition tables for the named constant-state
+// protocols, consumed transparently by ProtocolFactory.
+//
+// -sweep-seed/-sweep-index derive the graph construction seed exactly
+// as cmd/sweep does for the i-th expanded graph spec of a grid seeded
+// -sweep-seed, so a sweep over file:cell0.popg is byte-identical to the
+// same sweep over the generator spec (the preprocess-roundtrip CI gate
+// checks this with cmp).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"popgraph"
+	"popgraph/internal/protocols/beauquier"
+	"popgraph/internal/protocols/star"
+	"popgraph/internal/snapshot"
+	"popgraph/internal/sweep"
+)
+
+func main() {
+	var (
+		graphSpec  = flag.String("graph", "", "generator graph spec to build, e.g. ws:1000000:10:0.1 (required)")
+		seed       = flag.Uint64("seed", 1, "graph construction seed")
+		out        = flag.String("out", "", "output snapshot path, conventionally .popg (required)")
+		weights    = flag.String("weights", "", "comma-separated weight sets to embed: exp, degprod")
+		tables     = flag.String("tables", "", "comma-separated protocol tables to embed: six-state, star")
+		sweepSeed  = flag.Uint64("sweep-seed", 0, "derive the construction seed as a sweep with this -seed would")
+		sweepIndex = flag.Int("sweep-index", 0, "expanded graph-spec index within that sweep (with -sweep-seed)")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if err := run(*graphSpec, *seed, *out, *weights, *tables, *sweepSeed, *sweepIndex, *quiet,
+		flagWasSet("sweep-seed")); err != nil {
+		fmt.Fprintln(os.Stderr, "preprocess:", err)
+		os.Exit(1)
+	}
+}
+
+// flagWasSet reports whether the named flag appeared on the command
+// line, distinguishing -sweep-seed 0 from an absent -sweep-seed.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func run(graphSpec string, seed uint64, out, weightList, tableList string,
+	sweepSeed uint64, sweepIndex int, quiet, useSweepSeed bool) error {
+	if graphSpec == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if strings.HasPrefix(graphSpec, "file:") || strings.HasPrefix(graphSpec, "mmap:") {
+		return fmt.Errorf("-graph %q is already a snapshot spec; pass a generator spec", graphSpec)
+	}
+	if useSweepSeed {
+		if sweepIndex < 0 {
+			return fmt.Errorf("-sweep-index must be >= 0")
+		}
+		seed = sweep.GraphBuildSeed(sweepSeed, sweepIndex)
+	}
+
+	r := popgraph.NewRand(seed)
+	buildStart := time.Now()
+	g, err := popgraph.ParseGraph(graphSpec, r)
+	if err != nil {
+		return err
+	}
+	buildNs := time.Since(buildStart)
+
+	snap, err := snapshot.Build(g, graphSpec)
+	if err != nil {
+		return err
+	}
+	for _, model := range splitList(weightList) {
+		if err := addWeights(snap, model, r); err != nil {
+			return err
+		}
+	}
+	for _, name := range splitList(tableList) {
+		if err := addTable(snap, name); err != nil {
+			return err
+		}
+	}
+
+	encodeStart := time.Now()
+	if err := snapshot.WriteFile(out, snap); err != nil {
+		return err
+	}
+	encodeNs := time.Since(encodeStart)
+
+	if quiet {
+		return nil
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph    %s  (n=%d, m=%d, seed=%d)\n", g.Name(), g.N(), g.M(), seed)
+	fmt.Printf("build    %v\n", buildNs)
+	fmt.Printf("encode   %v -> %s (%d bytes)\n", encodeNs, out, st.Size())
+	for _, w := range snap.Weights {
+		fmt.Printf("weights  %s (%d rates + alias)\n", w.Name, len(w.Rates))
+	}
+	for _, t := range snap.Tables {
+		fmt.Printf("table    %s (%d states)\n", t.Name, t.Table.K())
+	}
+	fmt.Printf("run with -graphs file:%s (or mmap:%s)\n", out, out)
+	return nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+// addWeights embeds one named per-edge weight set. The exp model draws
+// i.i.d. Exp(1) rates from r by inversion, continuing the construction
+// RNG stream after the graph build — these are the snapshot's own fixed
+// rates, distinct from weighted:exp's per-run draws. degprod is the
+// deterministic deg(u)·deg(w) model.
+func addWeights(snap *snapshot.Snapshot, model string, r *popgraph.Rand) error {
+	g := snap.Graph
+	rates := make([]float64, 0, g.M())
+	switch model {
+	case "exp":
+		for i := 0; i < g.M(); i++ {
+			rates = append(rates, -math.Log(1-r.Float64()))
+		}
+	case "degprod":
+		g.ForEachEdge(func(u, w int) {
+			rates = append(rates, float64(g.Degree(u))*float64(g.Degree(w)))
+		})
+	default:
+		return fmt.Errorf("unknown weight model %q (want exp | degprod)", model)
+	}
+	return snap.AddWeights(model, rates)
+}
+
+// addTable embeds one compiled transition table, stored under the
+// protocol instance name ProtocolFactory looks up ("six-state",
+// "star-trivial"). Only input-independent tables are eligible;
+// majority's table depends on the input margin's sign.
+func addTable(snap *snapshot.Snapshot, name string) error {
+	switch name {
+	case "six-state", "sixstate", "six":
+		p := beauquier.New()
+		return snap.AddTable(p.Name(), p.Table())
+	case "star", "star-trivial":
+		p := star.New()
+		return snap.AddTable(p.Name(), p.Table())
+	}
+	return fmt.Errorf("unknown table %q (want six-state | star)", name)
+}

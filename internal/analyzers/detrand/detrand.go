@@ -35,6 +35,7 @@ var contractPaths = []string{
 	"internal/xrand",
 	"internal/graph",
 	"internal/sweep",
+	"internal/snapshot",
 	"internal/protocols/",
 }
 
@@ -73,7 +74,7 @@ func InScope(rel string) bool {
 var Analyzer = &analyzers.Analyzer{
 	Name: "detrand",
 	Doc: "forbid wall-clock reads and global randomness in determinism-contract packages " +
-		"(internal/{sim,core,xrand,graph,sweep} and internal/protocols/...)",
+		"(internal/{sim,core,xrand,graph,sweep,snapshot} and internal/protocols/...)",
 	Run: run,
 }
 

@@ -4,15 +4,18 @@
 // the module directory tree and recursing; standard-library imports go
 // through go/importer's source importer (which type-checks GOROOT
 // sources and therefore works without pre-built export data or network
-// access). Only non-test files are loaded: the determinism contract
-// lives in shipping code, and tests legitimately use wall clocks and
-// hard-coded seeds.
+// access). Only non-test files matching the host's build constraints
+// are loaded: the determinism contract lives in shipping code, tests
+// legitimately use wall clocks and hard-coded seeds, and
+// platform-split files (snapshot's mmap_linux.go / mmap_other.go)
+// would otherwise collide as duplicate declarations.
 
 package analyzers
 
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -213,7 +216,9 @@ func (l *Loader) walk(rel string) ([]string, error) {
 	return out, nil
 }
 
-// goFileNames lists dir's non-test .go files in sorted order.
+// goFileNames lists dir's non-test .go files in sorted order, filtered
+// by the host's build constraints (//go:build lines and _GOOS/_GOARCH
+// name suffixes) exactly as go build would select them.
 func goFileNames(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -223,6 +228,9 @@ func goFileNames(dir string) ([]string, error) {
 	for _, e := range ents {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, n); err != nil || !ok {
 			continue
 		}
 		names = append(names, n)

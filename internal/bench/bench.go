@@ -46,8 +46,11 @@ import (
 // timing and the table-vs-interface speedup; v5 added the batch axis:
 // per-cell lockstep batched timing (replicate trials executed as one
 // structure-of-arrays unit), the batched-vs-solo speedup and the
-// report-level max.
-const Schema = "popgraph-bench/v5"
+// report-level max; v6 added the snapshot axis: the per-cell
+// graph_source ("generator" or "snapshot" for file:/mmap: specs) and
+// the report-level startup section timing snapshot build vs load on
+// large graphs (RunStartup).
+const Schema = "popgraph-bench/v6"
 
 // Config is one grid cell: a graph, scheduler and protocol spec with
 // the trial shape. Steps caps every trial, so cells are timed over
@@ -94,6 +97,13 @@ type Measurement struct {
 	Protocol  string `json:"protocol"`
 	// Drop is the cell's injected drop rate (omitted when 0).
 	Drop float64 `json:"drop,omitempty"`
+	// GraphSource records where the cell's graph came from: "generator"
+	// for in-process construction, "snapshot" for file:/mmap: specs. The
+	// two are byte-identical to run (the determinism contract), so the
+	// field only labels provenance; it is deliberately not part of key(),
+	// keeping a snapshot-sourced grid comparable against a generator
+	// baseline.
+	GraphSource string `json:"graph_source"`
 	// Engine is the scheduler kernel the cell's execution plan compiled
 	// to: "dense-uniform", "clique-uniform", "weighted", "node-clock" or
 	// "generic" (sim.ExecPlan.Engine).
@@ -158,6 +168,11 @@ type Report struct {
 	// timed on the batch axis; 0 when the grid timed none.
 	MaxBatchSpeedup float64       `json:"max_batch_speedup,omitempty"`
 	Results         []Measurement `json:"results"`
+	// Startup is the snapshot preprocessing axis: build-once vs load
+	// timings on large graphs (RunStartup). Compare ignores it — the
+	// cells are matched on Results only — so the startup numbers inform
+	// without gating.
+	Startup []StartupMeasurement `json:"startup,omitempty"`
 }
 
 // DefaultGrid returns the standard grid: the six-state baseline on every
@@ -305,9 +320,14 @@ func measure(cfg Config, seed uint64, meter *telemetry.Counters) (Measurement, e
 	if err != nil {
 		return Measurement{}, err
 	}
+	source := "generator"
+	if strings.HasPrefix(cfg.GraphSpec, "file:") || strings.HasPrefix(cfg.GraphSpec, "mmap:") {
+		source = "snapshot"
+	}
 	m := Measurement{
 		Graph:          g.Name(),
 		GraphSpec:      cfg.GraphSpec,
+		GraphSource:    source,
 		Scheduler:      sched.Name(),
 		Protocol:       factory().Name(),
 		Drop:           cfg.Drop,

@@ -267,10 +267,11 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		`"schema": "popgraph-bench/v5"`, `"steps_per_sec"`, `"ns_per_step"`,
+		`"schema": "popgraph-bench/v6"`, `"steps_per_sec"`, `"ns_per_step"`,
 		`"speedup"`, `"max_speedup"`, `"clique-32"`, `"scheduler": "uniform"`,
 		`"engine": "clique-uniform"`, `"protocol_engine": "table"`,
 		`"interface"`, `"table_speedup"`, `"max_table_speedup"`,
+		`"graph_source": "generator"`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("JSON missing %q:\n%s", want, out)

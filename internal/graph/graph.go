@@ -55,6 +55,7 @@ type Dense struct {
 	edges   []int64 // len m, packed u<<32|w with u < w, for edge sampling
 	name    string
 	diam    int // known diameter, -1 if unknown
+	aux     any // loader-attached artifacts; see SetAux
 }
 
 var _ Graph = (*Dense)(nil)
@@ -105,6 +106,179 @@ func NewDense(n int, edges []Edge, name string) (*Dense, error) {
 	}
 	return g, nil
 }
+
+// NewDenseFromCSR rebuilds a Dense graph directly from its three CSR
+// arrays — the exact slices CSR and PackedEdges expose — so a decoded
+// binary snapshot becomes a first-class *Dense (and keeps the
+// type-specialized kernels engaged) without re-deriving anything. The
+// slices are adopted, not copied; callers transfer ownership and must
+// not mutate them afterwards.
+//
+// Validation runs in two tiers. The shape tier is O(n): offsets must
+// start at 0, be nondecreasing and end at 2m, lengths must agree with
+// n and m, and diam must lie in [-1, n). The content tier, VerifyCSR,
+// is O(m): every adjacency entry must be a valid node, the packed edge
+// list must be strictly ascending (which implies u < w, no duplicates)
+// with in-range endpoints, and adj must be exactly the adjacency
+// newDenseUnchecked would derive from that edge list (checked by
+// replaying the cursor fill), so the triple is internally consistent,
+// not merely plausible. NewDenseFromCSR runs both tiers. Connectivity
+// is NOT re-verified — callers vouch for it (a snapshot records the
+// encoder's BFS result under its checksum); diam is the known diameter
+// or -1.
+func NewDenseFromCSR(n int, offsets, adj []int32, packed []int64, name string, diam int) (*Dense, error) {
+	g, err := NewDenseFromCSRTrusted(n, offsets, adj, packed, name, diam)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.VerifyCSR(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// NewDenseFromCSRTrusted is NewDenseFromCSR minus the O(m) content
+// tier: it runs only the O(n) shape checks and adopts the arrays as
+// given. It exists for callers whose data integrity is already
+// established — a checksummed snapshot carries the same bytes its
+// encoder verified with VerifyCSR, so revalidating every element on
+// load would spend more time than the load itself (on a
+// memory-bandwidth-bound machine each O(m) scan costs as much as the
+// checksum pass). The trade is explicit: a crafted file with valid
+// checksums but inconsistent content is caught by VerifyCSR, not here;
+// until then, out-of-range adjacency surfaces as an index-range panic
+// in the kernels, never as memory corruption.
+func NewDenseFromCSRTrusted(n int, offsets, adj []int32, packed []int64, name string, diam int) (*Dense, error) {
+	if n <= 0 || n > 1<<31-1 {
+		return nil, fmt.Errorf("graph %q: CSR node count %d out of range: %w", name, n, ErrInvalidEdge)
+	}
+	m := len(packed)
+	if len(offsets) != n+1 {
+		return nil, fmt.Errorf("graph %q: CSR offsets length %d, want n+1 = %d: %w", name, len(offsets), n+1, ErrInvalidEdge)
+	}
+	if len(adj) != 2*m {
+		return nil, fmt.Errorf("graph %q: CSR adjacency length %d, want 2m = %d: %w", name, len(adj), 2*m, ErrInvalidEdge)
+	}
+	if offsets[0] != 0 || int(offsets[n]) != 2*m {
+		return nil, fmt.Errorf("graph %q: CSR offsets span [%d, %d], want [0, %d]: %w", name, offsets[0], offsets[n], 2*m, ErrInvalidEdge)
+	}
+	if !csrOffsetsMonotone(offsets) {
+		return nil, fmt.Errorf("graph %q: CSR offsets not nondecreasing: %w", name, ErrInvalidEdge)
+	}
+	if diam < -1 || diam >= n {
+		return nil, fmt.Errorf("graph %q: known diameter %d out of range [-1, %d): %w", name, diam, n, ErrInvalidEdge)
+	}
+	return &Dense{n: n, offsets: offsets, adj: adj, edges: packed, name: name, diam: diam}, nil
+}
+
+// VerifyCSR runs the O(m) content tier of the CSR validation (see
+// NewDenseFromCSR): adjacency entries in range, packed edges strictly
+// ascending with valid endpoints, and the adjacency array exactly the
+// cursor fill of the edge list. It is the deep check
+// NewDenseFromCSRTrusted defers; snapshot encoders run it once after
+// writing so loaders don't have to on every start.
+func (g *Dense) VerifyCSR() error {
+	n, name, offsets, adj, packed := g.n, g.name, g.offsets, g.adj, g.edges
+	if i := csrAdjOutOfRange(adj, int32(n)); i >= 0 {
+		return fmt.Errorf("graph %q: CSR adjacency entry %d is %d, outside [0,%d): %w", name, i, adj[i], n, ErrInvalidEdge)
+	}
+	if i := csrEdgesUnsorted(packed, n); i >= 0 {
+		return fmt.Errorf("graph %q: packed edge %d (%d,%d) out of order or out of range: %w",
+			name, i, packed[i]>>32, packed[i]&0xffffffff, ErrInvalidEdge)
+	}
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	if i := csrAdjMatchesEdges(offsets, adj, cursor, packed); i >= 0 {
+		return fmt.Errorf("graph %q: CSR adjacency disagrees with packed edge %d (%d,%d): %w",
+			name, i, packed[i]>>32, packed[i]&0xffffffff, ErrInvalidEdge)
+	}
+	for v := 0; v < n; v++ {
+		if cursor[v] != offsets[v+1] {
+			return fmt.Errorf("graph %q: CSR degree of node %d is %d, edge list implies %d: %w",
+				name, v, offsets[v+1]-offsets[v], cursor[v]-offsets[v], ErrInvalidEdge)
+		}
+	}
+	return nil
+}
+
+// csrOffsetsMonotone reports whether offsets is nondecreasing.
+//
+//popcheck:kernel
+func csrOffsetsMonotone(offsets []int32) bool {
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// csrAdjOutOfRange returns the index of the first adjacency entry
+// outside [0, n), or -1.
+//
+//popcheck:kernel
+func csrAdjOutOfRange(adj []int32, n int32) int {
+	for i, v := range adj {
+		if v < 0 || v >= n {
+			return i
+		}
+	}
+	return -1
+}
+
+// csrEdgesUnsorted returns the index of the first packed edge that is
+// not strictly greater than its predecessor or whose endpoints are not
+// 0 <= u < w < n, or -1. Strict ascent of the packed encoding implies
+// sortedness and no duplicates in one comparison per edge.
+//
+//popcheck:kernel
+func csrEdgesUnsorted(packed []int64, n int) int {
+	prev := int64(-1)
+	for i, e := range packed {
+		u, w := e>>32, e&0xffffffff
+		if e <= prev || u < 0 || u >= w || w >= int64(n) {
+			return i
+		}
+		prev = e
+	}
+	return -1
+}
+
+// csrAdjMatchesEdges replays the cursor fill newDenseUnchecked uses to
+// derive adjacency from the sorted packed edge list, comparing against
+// adj entry by entry; it returns the index of the first disagreeing
+// edge, or -1. cursor must be a copy of offsets[:n]; on success every
+// cursor lands on its node's end offset, which the caller checks to
+// close the degree accounting.
+//
+//popcheck:kernel
+func csrAdjMatchesEdges(offsets, adj, cursor []int32, packed []int64) int {
+	for i, e := range packed {
+		u, w := int32(e>>32), int32(e&0xffffffff)
+		cu, cw := cursor[u], cursor[w]
+		if cu >= offsets[u+1] || adj[cu] != w || cw >= offsets[w+1] || adj[cw] != u {
+			return i
+		}
+		cursor[u] = cu + 1
+		cursor[w] = cw + 1
+	}
+	return -1
+}
+
+// CSR exposes the graph's offset and adjacency arrays — together with
+// PackedEdges, the complete serializable representation NewDenseFromCSR
+// rebuilds from. Callers must treat both as read-only.
+func (g *Dense) CSR() (offsets, adj []int32) { return g.offsets, g.adj }
+
+// SetAux attaches an auxiliary artifact to the graph — the seam loaders
+// use to carry prebuilt companion data (a decoded snapshot with alias
+// tables and compiled transition tables) alongside the graph without
+// the graph package knowing the concrete type. One value; a second call
+// replaces the first.
+func (g *Dense) SetAux(v any) { g.aux = v }
+
+// Aux returns the artifact attached by SetAux, or nil.
+func (g *Dense) Aux() any { return g.aux }
 
 // newDenseUnchecked builds the CSR structures from a deduplicated,
 // normalized (u < w) packed edge list. Callers guarantee validity.

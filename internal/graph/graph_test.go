@@ -554,3 +554,75 @@ func BenchmarkBFS(b *testing.B) {
 		BFSDistances(g, i%g.N())
 	}
 }
+
+// TestNewDenseFromCSR checks the snapshot revival constructor: a valid
+// CSR round-trips into a graph identical to the NewDense original, and
+// every class of inconsistent input is rejected.
+func TestNewDenseFromCSR(t *testing.T) {
+	orig := Torus2D(3, 4)
+	offsets, adj := orig.CSR()
+	packed := orig.PackedEdges()
+	clone := func() (o, a []int32, p []int64) {
+		return append([]int32(nil), offsets...),
+			append([]int32(nil), adj...),
+			append([]int64(nil), packed...)
+	}
+
+	o, a, p := clone()
+	g, err := NewDenseFromCSR(orig.N(), o, a, p, orig.Name(), orig.KnownDiameter())
+	if err != nil {
+		t.Fatalf("NewDenseFromCSR: %v", err)
+	}
+	if g.N() != orig.N() || g.M() != orig.M() || g.KnownDiameter() != orig.KnownDiameter() {
+		t.Fatalf("revived graph n=%d m=%d diam=%d, want %d/%d/%d",
+			g.N(), g.M(), g.KnownDiameter(), orig.N(), orig.M(), orig.KnownDiameter())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != orig.Degree(v) {
+			t.Fatalf("degree(%d) = %d, want %d", v, g.Degree(v), orig.Degree(v))
+		}
+		if !reflect.DeepEqual(g.Neighbors(v), orig.Neighbors(v)) {
+			t.Fatalf("neighbors(%d) differ", v)
+		}
+	}
+
+	reject := func(name string, n int, o, a []int32, p []int64, diam int) {
+		t.Helper()
+		if _, err := NewDenseFromCSR(n, o, a, p, "bad", diam); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	reject("zero nodes", 0, []int32{0}, nil, nil, -1)
+	o, a, p = clone()
+	reject("offsets length", orig.N(), o[:len(o)-1], a, p, -1)
+	o, a, p = clone()
+	o[3]++
+	reject("offsets vs adjacency length", orig.N(), o, a, p, -1)
+	o, a, p = clone()
+	o[3], o[4] = o[4], o[3]
+	reject("nonmonotone offsets", orig.N(), o, a, p, -1)
+	o, a, p = clone()
+	a[0] = int32(orig.N())
+	reject("adjacency out of range", orig.N(), o, a, p, -1)
+	o, a, p = clone()
+	p[0], p[1] = p[1], p[0]
+	reject("unsorted edges", orig.N(), o, a, p, -1)
+	o, a, p = clone()
+	p[0] = p[1]
+	reject("duplicate edge", orig.N(), o, a, p, -1)
+	o, a, p = clone()
+	p[len(p)-1] = int64(orig.N()-1)<<32 | int64(orig.N()-1)
+	reject("self-loop", orig.N(), o, a, p, -1)
+	o, a, p = clone()
+	reject("diameter out of range", orig.N(), o, a, p, orig.N())
+	o, a, p = clone()
+	reject("diameter below -1", orig.N(), o, a, p, -2)
+
+	// Degrees cross-check: a permuted adjacency that keeps every entry
+	// in range but disagrees with the packed edge list must be caught.
+	o, a, p = clone()
+	a[0], a[1] = a[1], a[0]
+	if _, err := NewDenseFromCSR(orig.N(), o, a, p, "bad", -1); err == nil {
+		t.Fatalf("swapped adjacency entries accepted")
+	}
+}

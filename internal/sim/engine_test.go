@@ -12,6 +12,7 @@ import (
 	"popgraph/internal/protocols/star"
 	"popgraph/internal/runner"
 	. "popgraph/internal/sim"
+	"popgraph/internal/snapshot"
 	"popgraph/internal/telemetry"
 	"popgraph/internal/xrand"
 )
@@ -284,13 +285,45 @@ func TestPlanEquivalenceMatrix(t *testing.T) {
 	}
 	drops := []float64{0, 0.3}
 	for _, g := range graphs {
+		// Snapshot source axis: Dense graphs get a twin revived from the
+		// binary container (encode → decode in memory). The twin must be
+		// byte-identical to the original in every run below — same
+		// Result, observer sequence and post-run RNG position — which is
+		// the determinism contract ParseGraph's file: specs rely on. The
+		// implicit clique has no CSR to serialize and is excluded
+		// (materializing it changes the kernel, documented in
+		// snapshot.Build).
+		var snapG graph.Graph
+		if _, ok := g.(*graph.Dense); ok {
+			snap, err := snapshot.Build(g, "test:"+g.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := snap.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := snapshot.Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapG = loaded.Graph
+		}
 		for _, pc := range protoCases {
 			if !pc.on(g) {
 				continue
 			}
 			factory := pc.make(g)
+			var snapFactory func() Protocol
+			if snapG != nil {
+				snapFactory = pc.make(snapG)
+			}
 			for _, sc := range schedCases {
 				sched := sc.build(g)
+				var snapSched Scheduler
+				if snapG != nil {
+					snapSched = sc.build(snapG)
+				}
 				for _, drop := range drops {
 					for _, maxSteps := range pc.caps {
 						for _, every := range pc.everies {
@@ -390,6 +423,36 @@ func TestPlanEquivalenceMatrix(t *testing.T) {
 									}
 									if runs != 1 || s.ChunksRun == 0 {
 										t.Fatalf("%s: dispatch/chunk accounting off: %+v", name, s)
+									}
+								}
+								// Snapshot axis: the revived twin replays the
+								// reference run exactly, through the default
+								// plan selection (fused kernels included).
+								if snapG != nil {
+									r := xrand.New(seed)
+									p := snapFactory()
+									opts := Options{
+										MaxSteps:  maxSteps,
+										Scheduler: snapSched,
+										DropRate:  drop,
+									}
+									var obs *recordingObserver
+									if every > 0 {
+										obs = &recordingObserver{p: p}
+										opts.Observer = obs
+										opts.ObserveEvery = every
+									}
+									res := Run(snapG, p, r, opts)
+									if res != want.res {
+										t.Fatalf("%s: snapshot-loaded run diverged: %+v, reference %+v", name, res, want.res)
+									}
+									if every > 0 && !obs.equal(want.obs) {
+										t.Fatalf("%s: snapshot-loaded observer sequence diverged", name)
+									}
+									for i, b := range wantDraws {
+										if a := r.Uint64(); a != b {
+											t.Fatalf("%s: snapshot-loaded post-run RNG stream diverged at draw %d", name, i)
+										}
 									}
 								}
 								// Batch axis: RunBatch lane i must be byte-identical

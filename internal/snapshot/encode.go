@@ -1,0 +1,256 @@
+// Snapshot encoding: lay out the section table, serialize every slab
+// little-endian at 8-aligned offsets, checksum each payload. Encoding
+// happens once per preprocessed graph (cmd/preprocess), so the encoder
+// favors clarity; the bulk slabs still take the memcpy fast path on
+// little-endian hosts, where the in-memory representation already is
+// the wire representation.
+
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"unsafe"
+)
+
+// castagnoli is the CRC-32C table shared by encode, decode and
+// Inspect. Castagnoli because amd64 and arm64 compute it in hardware,
+// keeping checksum verification a tiny slice of load time even for
+// multi-hundred-megabyte snapshots.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLittleEndian reports whether the native byte order is little
+// endian — the precondition for aliasing wire slabs as typed slices
+// in either direction.
+var hostLittleEndian = binary.NativeEndian.Uint16([]byte{0x34, 0x12}) == 0x1234
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// bytesOf returns the raw byte view of a numeric slab. Only valid as a
+// wire image on little-endian hosts; callers gate on hostLittleEndian.
+func bytesOf[T int32 | int64 | uint32 | float64](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(s[0])))
+}
+
+// section is one section-table entry during encoding or decoding.
+type section struct {
+	kind   uint32
+	crc    uint32
+	offset uint64
+	length uint64
+}
+
+// Encode serializes the snapshot. The graph must be set; weights and
+// tables are optional.
+func (s *Snapshot) Encode() ([]byte, error) {
+	if s.Graph == nil {
+		return nil, fmt.Errorf("snapshot: encode without a graph")
+	}
+	g := s.Graph
+	n, m := g.N(), g.M()
+	offsets, adj := g.CSR()
+	edges := g.PackedEdges()
+	if len(s.Source) > math.MaxUint16 {
+		return nil, fmt.Errorf("snapshot: source spec %.32q... too long", s.Source)
+	}
+	if len(g.Name()) > math.MaxUint16 {
+		return nil, fmt.Errorf("snapshot: graph name %.32q... too long", g.Name())
+	}
+
+	// Payload sizes, in canonical section order.
+	lengths := []int{
+		24 + len(g.Name()) + len(s.Source), // meta
+		4 * (n + 1),                        // csr-offsets
+		4 * 2 * m,                          // csr-adjacency
+		8 * m,                              // packed-edges
+	}
+	kinds := []uint32{kindMeta, kindOffsets, kindAdj, kindEdges}
+	for _, w := range s.Weights {
+		lengths = append(lengths, weightsPayloadSize(len(w.Name), m))
+		kinds = append(kinds, kindWeights)
+	}
+	for _, t := range s.Tables {
+		lengths = append(lengths, tablePayloadSize(len(t.Name), t.Table.K()))
+		kinds = append(kinds, kindTable)
+	}
+	if len(kinds) > maxSections {
+		return nil, fmt.Errorf("snapshot: %d sections exceed the %d-section cap", len(kinds), maxSections)
+	}
+
+	sections := make([]section, len(kinds))
+	off := headerSize + sectionEntrySize*len(kinds)
+	for i, l := range lengths {
+		off = align8(off)
+		sections[i] = section{kind: kinds[i], offset: uint64(off), length: uint64(l)}
+		off += l
+	}
+	total := align8(off)
+	buf := make([]byte, total)
+
+	// Payloads first, so checksums are ready when the table is written.
+	si := 0
+	next := func() []byte {
+		p := buf[sections[si].offset : sections[si].offset+sections[si].length]
+		si++
+		return p
+	}
+	meta := next()
+	binary.LittleEndian.PutUint64(meta[0:], uint64(n))
+	binary.LittleEndian.PutUint64(meta[8:], uint64(m))
+	binary.LittleEndian.PutUint32(meta[16:], uint32(len(g.Name())))
+	binary.LittleEndian.PutUint32(meta[20:], uint32(len(s.Source)))
+	copy(meta[24:], g.Name())
+	copy(meta[24+len(g.Name()):], s.Source)
+	putInt32s(next(), offsets)
+	putInt32s(next(), adj)
+	putInt64s(next(), edges)
+	for _, w := range s.Weights {
+		if err := encodeWeights(next(), w, m); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range s.Tables {
+		encodeTable(next(), t)
+	}
+	for i := range sections {
+		sections[i].crc = crc32.Checksum(buf[sections[i].offset:sections[i].offset+sections[i].length], castagnoli)
+	}
+
+	copy(buf[0:16], Magic)
+	binary.LittleEndian.PutUint32(buf[16:], flagConnected)
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(sections)))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(total))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(int64(g.KnownDiameter())))
+	for i, sec := range sections {
+		e := buf[headerSize+sectionEntrySize*i:]
+		binary.LittleEndian.PutUint32(e[0:], sec.kind)
+		binary.LittleEndian.PutUint32(e[4:], sec.crc)
+		binary.LittleEndian.PutUint64(e[8:], sec.offset)
+		binary.LittleEndian.PutUint64(e[16:], sec.length)
+	}
+	return buf, nil
+}
+
+// weightsPayloadSize: u64 edge count, u32 name length, u32 reserved,
+// name padded to 8 (so the float slabs land 8-aligned), rates m×f64,
+// prob m×f64, alias m×u32.
+func weightsPayloadSize(nameLen, m int) int {
+	return align8(16+nameLen) + 8*m + 8*m + 4*m
+}
+
+// tablePayloadSize: u32 k, u32 name length, i64 gap target, name
+// padded to 4, cells k²×u32, roles k×u8 padded to 8, gap weights
+// k×i64. Tables are tiny (k ≤ 64), and the decoder copies them rather
+// than aliasing, so only decodability matters here.
+func tablePayloadSize(nameLen, k int) int {
+	return align8(((16+nameLen+3)&^3)+4*k*k+k) + 8*k
+}
+
+func encodeWeights(p []byte, w WeightSet, m int) error {
+	if len(w.Rates) != m || w.Alias.N() != m {
+		return fmt.Errorf("snapshot: weight set %q has %d rates / %d alias columns for %d edges",
+			w.Name, len(w.Rates), w.Alias.N(), m)
+	}
+	binary.LittleEndian.PutUint64(p[0:], uint64(m))
+	binary.LittleEndian.PutUint32(p[8:], uint32(len(w.Name)))
+	copy(p[16:], w.Name)
+	off := align8(16 + len(w.Name))
+	prob, alias := w.Alias.Table()
+	putFloat64s(p[off:off+8*m], w.Rates)
+	putFloat64s(p[off+8*m:off+16*m], prob)
+	putInt32s(p[off+16*m:off+16*m+4*m], alias)
+	return nil
+}
+
+func encodeTable(p []byte, t Table) {
+	k := t.Table.K()
+	binary.LittleEndian.PutUint32(p[0:], uint32(k))
+	binary.LittleEndian.PutUint32(p[4:], uint32(len(t.Name)))
+	binary.LittleEndian.PutUint64(p[8:], uint64(int64(t.Table.GapTarget())))
+	copy(p[16:], t.Name)
+	off := (16 + len(t.Name) + 3) &^ 3
+	cells := t.Table.Cells()
+	for i, c := range cells {
+		binary.LittleEndian.PutUint32(p[off+4*i:], c)
+	}
+	off += 4 * k * k
+	for s := 0; s < k; s++ {
+		p[off+s] = byte(t.Table.Role(uint8(s)))
+	}
+	off = align8(off + k)
+	for s := 0; s < k; s++ {
+		binary.LittleEndian.PutUint64(p[off+8*s:], uint64(int64(t.Table.GapWeight(uint8(s)))))
+	}
+}
+
+func putInt32s(p []byte, v []int32) {
+	if hostLittleEndian {
+		copy(p, bytesOf(v))
+		return
+	}
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(p[4*i:], uint32(x))
+	}
+}
+
+func putInt64s(p []byte, v []int64) {
+	if hostLittleEndian {
+		copy(p, bytesOf(v))
+		return
+	}
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(p[8*i:], uint64(x))
+	}
+}
+
+func putFloat64s(p []byte, v []float64) {
+	if hostLittleEndian {
+		copy(p, bytesOf(v))
+		return
+	}
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(p[8*i:], math.Float64bits(x))
+	}
+}
+
+// WriteFile encodes the snapshot and writes it atomically: a temporary
+// file in the destination directory, fsync'd, then renamed into place,
+// so readers (and the CI cache) never observe a torn snapshot. It runs
+// the deep Verify pass first — the encoder pays the O(m) content check
+// once so every subsequent Load can trust the checksummed bytes
+// without repeating it.
+func WriteFile(path string, s *Snapshot) error {
+	if err := Verify(s); err != nil {
+		return err
+	}
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

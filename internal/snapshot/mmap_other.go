@@ -1,0 +1,8 @@
+//go:build !linux
+
+package snapshot
+
+// LoadMmap degrades to a plain Load where memory mapping is not
+// wired up; the mmap: graph spec stays portable, just without the
+// page-sharing and lazy-fault-in advantages.
+func LoadMmap(path string) (*Snapshot, error) { return Load(path) }

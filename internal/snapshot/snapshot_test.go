@@ -1,0 +1,568 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"popgraph/internal/core"
+	"popgraph/internal/graph"
+	"popgraph/internal/xrand"
+)
+
+// familyGraphs builds one representative of every graph family the
+// spec grammar can produce, deterministic generators seeded fixed.
+func familyGraphs(t *testing.T) map[string]graph.Graph {
+	t.Helper()
+	r := xrand.New(99)
+	gnp, err := graph.Gnp(64, 0.12, r)
+	if err != nil {
+		t.Fatalf("gnp: %v", err)
+	}
+	ws, err := graph.WattsStrogatz(128, 6, 0.2, r)
+	if err != nil {
+		t.Fatalf("ws: %v", err)
+	}
+	ba, err := graph.BarabasiAlbert(100, 3, r)
+	if err != nil {
+		t.Fatalf("ba: %v", err)
+	}
+	reg, err := graph.RandomRegular(32, 3, r)
+	if err != nil {
+		t.Fatalf("regular: %v", err)
+	}
+	dense, err := graph.NewDense(5, []graph.Edge{
+		{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 3}, {U: 3, W: 4}, {U: 4, W: 0}, {U: 0, W: 2},
+	}, "pentagon+chord")
+	if err != nil {
+		t.Fatalf("dense: %v", err)
+	}
+	return map[string]graph.Graph{
+		"clique":    graph.NewClique(23), // implicit; materialized by Build
+		"dense":     dense,
+		"cycle":     graph.Cycle(17),
+		"path":      graph.Path(9),
+		"star":      graph.Star(12),
+		"torus":     graph.Torus2D(4, 5),
+		"grid":      graph.Grid2D(3, 4),
+		"hypercube": graph.Hypercube(4),
+		"lollipop":  graph.Lollipop(8, 5),
+		"barbell":   graph.Barbell(5, 4),
+		"gnp":       gnp,
+		"ws":        ws,
+		"ba":        ba,
+		"regular":   reg,
+	}
+}
+
+// mustRoundTrip encodes and re-decodes s, failing the test on error.
+func mustRoundTrip(t *testing.T, s *Snapshot) *Snapshot {
+	t.Helper()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+// assertSameCSR requires the two Dense graphs to hold identical CSR
+// arrays — the property that makes loaded-graph runs byte-identical.
+func assertSameCSR(t *testing.T, want, got *graph.Dense) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() || got.Name() != want.Name() {
+		t.Fatalf("got n=%d m=%d name=%q, want n=%d m=%d name=%q",
+			got.N(), got.M(), got.Name(), want.N(), want.M(), want.Name())
+	}
+	wOff, wAdj := want.CSR()
+	gOff, gAdj := got.CSR()
+	for i := range wOff {
+		if gOff[i] != wOff[i] {
+			t.Fatalf("offsets[%d] = %d, want %d", i, gOff[i], wOff[i])
+		}
+	}
+	for i := range wAdj {
+		if gAdj[i] != wAdj[i] {
+			t.Fatalf("adj[%d] = %d, want %d", i, gAdj[i], wAdj[i])
+		}
+	}
+	wEdges, gEdges := want.PackedEdges(), got.PackedEdges()
+	for i := range wEdges {
+		if gEdges[i] != wEdges[i] {
+			t.Fatalf("edges[%d] = %d, want %d", i, gEdges[i], wEdges[i])
+		}
+	}
+	if got.KnownDiameter() != want.KnownDiameter() {
+		t.Fatalf("diameter = %d, want %d", got.KnownDiameter(), want.KnownDiameter())
+	}
+}
+
+func TestRoundTripFamilies(t *testing.T) {
+	for name, g := range familyGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			s, err := Build(g, "spec:"+name)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			got := mustRoundTrip(t, s)
+			assertSameCSR(t, s.Graph, got.Graph)
+			if err := Verify(got); err != nil {
+				t.Fatalf("Verify on a round-tripped snapshot: %v", err)
+			}
+			if got.Source != "spec:"+name {
+				t.Fatalf("source %q, want %q", got.Source, "spec:"+name)
+			}
+			if Of(got.Graph) != got {
+				t.Fatalf("decoded graph does not carry its snapshot as Aux")
+			}
+			if Of(g) != nil && Of(g) == got {
+				t.Fatalf("original graph aliases the decoded snapshot")
+			}
+		})
+	}
+}
+
+// TestRoundTripAliasDraws pins the determinism contract for weights:
+// the revived alias table replays the exact draw sequence of the one
+// built in process.
+func TestRoundTripAliasDraws(t *testing.T) {
+	r := xrand.New(7)
+	g, err := graph.WattsStrogatz(256, 6, 0.3, r)
+	if err != nil {
+		t.Fatalf("ws: %v", err)
+	}
+	s, err := Build(g, "ws:256:6:0.3")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rates := make([]float64, g.M())
+	for i := range rates {
+		rates[i] = -math.Log(1 - r.Float64())
+	}
+	if err := s.AddWeights("exp", rates); err != nil {
+		t.Fatalf("AddWeights: %v", err)
+	}
+	got := mustRoundTrip(t, s)
+	set := got.WeightSet("exp")
+	if set == nil {
+		t.Fatalf("weight set %q lost in round trip", "exp")
+	}
+	for i := range rates {
+		if set.Rates[i] != rates[i] {
+			t.Fatalf("rates[%d] = %v, want %v", i, set.Rates[i], rates[i])
+		}
+	}
+	rA, rB := xrand.New(123), xrand.New(123)
+	for i := 0; i < 4096; i++ {
+		if a, b := s.Weights[0].Alias.Sample(rA), set.Alias.Sample(rB); a != b {
+			t.Fatalf("alias draw %d: original %d, revived %d", i, a, b)
+		}
+	}
+}
+
+// sixStateTable builds the six-state protocol's compiled table via the
+// same probe generation the protocol itself uses, without importing the
+// protocol package (snapshot must stay below protocols in the import
+// graph).
+func sixStateTable(t *testing.T) *core.TransitionTable {
+	t.Helper()
+	tab, err := core.NewTransitionTable(6,
+		func(a, b uint8) (uint8, uint8) {
+			na, nb := core.TokenTransition(core.TokenState(a), core.TokenState(b))
+			return uint8(na), uint8(nb)
+		},
+		func(s uint8) core.Role { return core.TokenState(s).Role() },
+		func(s uint8) int {
+			if tok := core.TokenState(s).Token(); tok == core.TokenBlack || tok == core.TokenWhite {
+				return 1
+			}
+			return 0
+		},
+		1)
+	if err != nil {
+		t.Fatalf("NewTransitionTable: %v", err)
+	}
+	return tab
+}
+
+func TestRoundTripTables(t *testing.T) {
+	s, err := Build(graph.Cycle(8), "cycle:8")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want := sixStateTable(t)
+	if err := s.AddTable("six-state", want); err != nil {
+		t.Fatalf("AddTable: %v", err)
+	}
+	got := mustRoundTrip(t, s).Table("six-state")
+	if got == nil {
+		t.Fatalf("table lost in round trip")
+	}
+	if got.K() != want.K() || got.GapTarget() != want.GapTarget() {
+		t.Fatalf("k=%d target=%d, want k=%d target=%d", got.K(), got.GapTarget(), want.K(), want.GapTarget())
+	}
+	wc, gc := want.Cells(), got.Cells()
+	for i := range wc {
+		if gc[i] != wc[i] {
+			t.Fatalf("cell %d = %#x, want %#x", i, gc[i], wc[i])
+		}
+	}
+	for st := 0; st < want.K(); st++ {
+		if got.Role(uint8(st)) != want.Role(uint8(st)) || got.GapWeight(uint8(st)) != want.GapWeight(uint8(st)) {
+			t.Fatalf("state %d role/weight mismatch", st)
+		}
+	}
+}
+
+// encodeFixture returns a valid snapshot buffer with one weight set and
+// one table, plus its source snapshot, for the corruption tests.
+func encodeFixture(t *testing.T) []byte {
+	t.Helper()
+	r := xrand.New(3)
+	g, err := graph.WattsStrogatz(64, 4, 0.2, r)
+	if err != nil {
+		t.Fatalf("ws: %v", err)
+	}
+	s, err := Build(g, "ws:64:4:0.2")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rates := make([]float64, g.M())
+	for i := range rates {
+		rates[i] = 1 + float64(i%7)
+	}
+	if err := s.AddWeights("exp", rates); err != nil {
+		t.Fatalf("AddWeights: %v", err)
+	}
+	if err := s.AddTable("six-state", sixStateTable(t)); err != nil {
+		t.Fatalf("AddTable: %v", err)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return data
+}
+
+// findSection locates the first section of the given kind and returns
+// its index, offset and length.
+func findSection(t *testing.T, data []byte, kind uint32) (idx int, offset, length int) {
+	t.Helper()
+	count := int(binary.LittleEndian.Uint32(data[20:]))
+	for i := 0; i < count; i++ {
+		e := data[headerSize+sectionEntrySize*i:]
+		if binary.LittleEndian.Uint32(e[0:]) == kind {
+			return i, int(binary.LittleEndian.Uint64(e[8:])), int(binary.LittleEndian.Uint64(e[16:]))
+		}
+	}
+	t.Fatalf("no section of kind %d", kind)
+	return 0, 0, 0
+}
+
+// fixCRC recomputes section idx's checksum after a payload patch, so a
+// test reaches the validation layer it targets instead of tripping the
+// checksum first.
+func fixCRC(data []byte, idx int) {
+	e := data[headerSize+sectionEntrySize*idx:]
+	off := binary.LittleEndian.Uint64(e[8:])
+	length := binary.LittleEndian.Uint64(e[16:])
+	crc := crc32.Checksum(data[off:off+length], castagnoli)
+	binary.LittleEndian.PutUint32(e[4:], crc)
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(t *testing.T, data []byte) []byte
+		wantErr error
+	}{
+		{"empty", func(t *testing.T, data []byte) []byte {
+			return nil
+		}, ErrNotSnapshot},
+		{"foreign-data", func(t *testing.T, data []byte) []byte {
+			copy(data, "GIF89a-definitely-not-a-snapshot")
+			return data
+		}, ErrNotSnapshot},
+		{"older-version", func(t *testing.T, data []byte) []byte {
+			copy(data[:16], "popgraph-snap/v0")
+			return data
+		}, ErrVersion},
+		{"future-version", func(t *testing.T, data []byte) []byte {
+			copy(data[:16], "popgraph-snap/v2")
+			return data
+		}, ErrVersion},
+		{"truncated-header", func(t *testing.T, data []byte) []byte {
+			return data[:20]
+		}, ErrCorrupt},
+		{"truncated-payload", func(t *testing.T, data []byte) []byte {
+			return data[:len(data)-8]
+		}, ErrCorrupt},
+		{"trailing-garbage", func(t *testing.T, data []byte) []byte {
+			return append(data, 0, 0, 0, 0, 0, 0, 0, 0)
+		}, ErrCorrupt},
+		{"flipped-payload-bit", func(t *testing.T, data []byte) []byte {
+			_, off, _ := findSection(t, data, kindAdj)
+			data[off] ^= 0x01
+			return data
+		}, ErrCorrupt},
+		{"section-out-of-bounds", func(t *testing.T, data []byte) []byte {
+			idx, _, _ := findSection(t, data, kindEdges)
+			e := data[headerSize+sectionEntrySize*idx:]
+			binary.LittleEndian.PutUint64(e[16:], uint64(len(data)))
+			return data
+		}, ErrCorrupt},
+		{"misaligned-section", func(t *testing.T, data []byte) []byte {
+			idx, off, _ := findSection(t, data, kindEdges)
+			e := data[headerSize+sectionEntrySize*idx:]
+			binary.LittleEndian.PutUint64(e[8:], uint64(off)+4)
+			return data
+		}, ErrCorrupt},
+		{"connectivity-flag-cleared", func(t *testing.T, data []byte) []byte {
+			binary.LittleEndian.PutUint32(data[16:], 0)
+			return data
+		}, ErrCorrupt},
+		{"offsets-nonmonotone", func(t *testing.T, data []byte) []byte {
+			idx, off, _ := findSection(t, data, kindOffsets)
+			v := binary.LittleEndian.Uint32(data[off+8:])
+			binary.LittleEndian.PutUint32(data[off+8:], v+1000000)
+			fixCRC(data, idx)
+			return data
+		}, ErrCorrupt},
+		{"alias-prob-above-one", func(t *testing.T, data []byte) []byte {
+			idx, off, length := findSection(t, data, kindWeights)
+			p := data[off : off+length]
+			m := int(binary.LittleEndian.Uint64(p[0:]))
+			nameLen := int(binary.LittleEndian.Uint32(p[8:]))
+			probOff := align8(16+nameLen) + 8*m
+			binary.LittleEndian.PutUint64(p[probOff:], math.Float64bits(2.0))
+			fixCRC(data, idx)
+			return data
+		}, ErrCorrupt},
+		{"negative-rate", func(t *testing.T, data []byte) []byte {
+			idx, off, _ := findSection(t, data, kindWeights)
+			p := data[off:]
+			nameLen := int(binary.LittleEndian.Uint32(p[8:]))
+			binary.LittleEndian.PutUint64(p[align8(16+nameLen):], math.Float64bits(-1.0))
+			fixCRC(data, idx)
+			return data
+		}, ErrCorrupt},
+		{"table-cell-mismatch", func(t *testing.T, data []byte) []byte {
+			idx, off, _ := findSection(t, data, kindTable)
+			p := data[off:]
+			nameLen := int(binary.LittleEndian.Uint32(p[4:]))
+			cellOff := (16 + nameLen + 3) &^ 3
+			c := binary.LittleEndian.Uint32(p[cellOff:])
+			binary.LittleEndian.PutUint32(p[cellOff:], c^0x10000)
+			fixCRC(data, idx)
+			return data
+		}, ErrCorrupt},
+		{"unknown-section-kind", func(t *testing.T, data []byte) []byte {
+			idx, _, _ := findSection(t, data, kindWeights)
+			e := data[headerSize+sectionEntrySize*idx:]
+			binary.LittleEndian.PutUint32(e[0:], 99)
+			return data
+		}, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(t, encodeFixture(t))
+			_, err := Decode(data)
+			if err == nil {
+				t.Fatalf("Decode accepted %s data", tc.name)
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Decode error %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestVerifyRejects covers the deep validation tier: content
+// corruptions whose checksums have been recomputed pass Decode (the
+// container and structural checks can't see them) but must be caught
+// by the O(m) Verify pass the encoder runs before every WriteFile.
+func TestVerifyRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, data []byte) []byte
+	}{
+		{"adjacency-out-of-range", func(t *testing.T, data []byte) []byte {
+			idx, off, _ := findSection(t, data, kindAdj)
+			binary.LittleEndian.PutUint32(data[off:], 1<<20)
+			fixCRC(data, idx)
+			return data
+		}},
+		{"adjacency-swapped-entries", func(t *testing.T, data []byte) []byte {
+			idx, off, _ := findSection(t, data, kindAdj)
+			a := binary.LittleEndian.Uint32(data[off:])
+			b := binary.LittleEndian.Uint32(data[off+4:])
+			binary.LittleEndian.PutUint32(data[off:], b)
+			binary.LittleEndian.PutUint32(data[off+4:], a)
+			fixCRC(data, idx)
+			return data
+		}},
+		{"edges-unsorted", func(t *testing.T, data []byte) []byte {
+			idx, off, _ := findSection(t, data, kindEdges)
+			a := binary.LittleEndian.Uint64(data[off:])
+			b := binary.LittleEndian.Uint64(data[off+8:])
+			binary.LittleEndian.PutUint64(data[off:], b)
+			binary.LittleEndian.PutUint64(data[off+8:], a)
+			fixCRC(data, idx)
+			return data
+		}},
+		{"alias-disagrees-with-rates", func(t *testing.T, data []byte) []byte {
+			idx, off, length := findSection(t, data, kindWeights)
+			p := data[off : off+length]
+			m := int(binary.LittleEndian.Uint64(p[0:]))
+			nameLen := int(binary.LittleEndian.Uint32(p[8:]))
+			probOff := align8(16+nameLen) + 8*m
+			v := math.Float64frombits(binary.LittleEndian.Uint64(p[probOff:]))
+			binary.LittleEndian.PutUint64(p[probOff:], math.Float64bits(v/2))
+			fixCRC(data, idx)
+			return data
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(t, encodeFixture(t))
+			s, err := Decode(data)
+			if err != nil {
+				t.Fatalf("Decode rejected %s data (%v); the corruption should only be visible to Verify", tc.name, err)
+			}
+			if err := Verify(s); err == nil {
+				t.Fatalf("Verify accepted %s data", tc.name)
+			} else if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Verify error %v, want %v", err, ErrCorrupt)
+			}
+		})
+	}
+}
+
+// TestDecodePortablePath forces the element-by-element decode (the
+// big-endian / misaligned-buffer fallback) and requires it to produce
+// the same graph as the zero-copy path.
+func TestDecodePortablePath(t *testing.T) {
+	data := encodeFixture(t)
+	want, err := Decode(append([]byte(nil), data...))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	got, err := decode(append([]byte(nil), data...), false)
+	if err != nil {
+		t.Fatalf("portable decode: %v", err)
+	}
+	assertSameCSR(t, want.Graph, got.Graph)
+	rA, rB := xrand.New(5), xrand.New(5)
+	for i := 0; i < 1024; i++ {
+		if a, b := want.Weights[0].Alias.Sample(rA), got.Weights[0].Alias.Sample(rB); a != b {
+			t.Fatalf("alias draw %d differs between decode paths", i)
+		}
+	}
+}
+
+func TestWriteFileLoadAndMmap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.popg")
+	r := xrand.New(11)
+	g, err := graph.BarabasiAlbert(200, 3, r)
+	if err != nil {
+		t.Fatalf("ba: %v", err)
+	}
+	s, err := Build(g, "ba:200:3")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := WriteFile(path, s); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	assertSameCSR(t, g, loaded.Graph)
+	mapped, err := LoadMmap(path)
+	if err != nil {
+		t.Fatalf("LoadMmap: %v", err)
+	}
+	assertSameCSR(t, g, mapped.Graph)
+
+	// WriteFile is atomic: no temp files survive a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.popg" {
+		t.Fatalf("directory holds %d entries after WriteFile, want just g.popg", len(entries))
+	}
+}
+
+func TestInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.popg")
+	data := encodeFixture(t)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	info, err := Inspect(path)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if info.N != 64 || info.M != 128 || !info.Connected {
+		t.Fatalf("Inspect n=%d m=%d connected=%v, want 64/128/true", info.N, info.M, info.Connected)
+	}
+	if info.Source != "ws:64:4:0.2" {
+		t.Fatalf("Inspect source %q", info.Source)
+	}
+	if len(info.Sections) != 6 {
+		t.Fatalf("Inspect found %d sections, want 6", len(info.Sections))
+	}
+	wantKinds := []string{"meta", "csr-offsets", "csr-adjacency", "packed-edges", "weights", "transition-table"}
+	for i, k := range wantKinds {
+		if info.Sections[i].Kind != k {
+			t.Fatalf("section %d kind %q, want %q", i, info.Sections[i].Kind, k)
+		}
+	}
+	if info.Sections[4].Name != "exp" || info.Sections[5].Name != "six-state" {
+		t.Fatalf("artifact names %q/%q, want exp/six-state", info.Sections[4].Name, info.Sections[5].Name)
+	}
+}
+
+// TestBuildRejects covers Build/Add* input validation.
+func TestBuildRejects(t *testing.T) {
+	s, err := Build(graph.Cycle(6), "cycle:6")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := s.AddWeights("", []float64{1}); err == nil {
+		t.Fatalf("AddWeights accepted an empty name")
+	}
+	if err := s.AddWeights("short", []float64{1}); err == nil {
+		t.Fatalf("AddWeights accepted %d rates for %d edges", 1, s.Graph.M())
+	}
+	if err := s.AddWeights("exp", make([]float64, s.Graph.M())); err == nil {
+		t.Fatalf("AddWeights accepted all-zero rates")
+	}
+	ones := make([]float64, s.Graph.M())
+	for i := range ones {
+		ones[i] = 1
+	}
+	if err := s.AddWeights("exp", ones); err != nil {
+		t.Fatalf("AddWeights: %v", err)
+	}
+	if err := s.AddWeights("exp", ones); err == nil {
+		t.Fatalf("AddWeights accepted a duplicate name")
+	}
+	if err := s.AddTable("exp", sixStateTable(t)); err == nil {
+		t.Fatalf("AddTable accepted a name already used by a weight set")
+	}
+	if err := s.AddTable("six-state", nil); err == nil {
+		t.Fatalf("AddTable accepted a nil table")
+	}
+}

@@ -115,7 +115,7 @@ func (s Spec) Validate() error {
 	}
 	needSizes := false
 	for _, t := range s.Graphs {
-		if strings.Contains(t, "N") {
+		if templateHasN(t) {
 			needSizes = true
 			break
 		}
@@ -149,11 +149,13 @@ func (s Spec) Validate() error {
 
 // GraphSpecs expands the graph templates against the size ladder,
 // template-major: each template with an N yields one spec per size,
-// templates without an N yield themselves once.
+// templates without an N yield themselves once. Snapshot templates
+// (file:/mmap:) are always fixed graphs — their payload is a filesystem
+// path, where a literal N must survive untouched.
 func (s Spec) GraphSpecs() []string {
 	var out []string
 	for _, t := range s.Graphs {
-		if !strings.Contains(t, "N") {
+		if !templateHasN(t) {
 			out = append(out, t)
 			continue
 		}
@@ -163,6 +165,23 @@ func (s Spec) GraphSpecs() []string {
 	}
 	return out
 }
+
+// templateHasN reports whether a graph template takes the size ladder:
+// it contains the substitution letter and is not a snapshot path spec.
+func templateHasN(t string) bool {
+	if strings.HasPrefix(t, "file:") || strings.HasPrefix(t, "mmap:") {
+		return false
+	}
+	return strings.Contains(t, "N")
+}
+
+// GraphBuildSeed returns the construction seed Build hands ParseGraph
+// for the gi-th expanded graph spec of a sweep seeded specSeed. It is
+// exported for cmd/preprocess: a snapshot built with this seed holds
+// the exact graph instance the sweep cell would generate, which is
+// what makes a file:-spec sweep byte-identical to its generator-spec
+// twin (the preprocess-roundtrip CI gate).
+func GraphBuildSeed(specSeed uint64, gi int) uint64 { return mix(specSeed, gi) }
 
 // dropRates returns the drop-rate axis, defaulting to {0}.
 func (s Spec) dropRates() []float64 {
